@@ -1,0 +1,49 @@
+"""Bench: ablation studies for this repo's own design choices."""
+
+from conftest import BENCH_TRIALS, record
+
+from repro.experiments.ablations import (
+    run_convention_ablation,
+    run_omega_sweep,
+    run_peephole_ablation,
+)
+
+
+def test_ablation_omega_sweep(benchmark, calibration):
+    result = benchmark.pedantic(
+        run_omega_sweep,
+        kwargs={"calibration": calibration, "trials": BENCH_TRIALS},
+        rounds=1, iterations=1)
+    # The best omega always lies strictly inside (0, 1) or at the
+    # balanced point — never at pure-readout (w=1) for CNOT-heavy
+    # programs like Toffoli.
+    assert result.best_omega("Toffoli") < 1.0
+    record(benchmark, result.to_text())
+
+
+def test_ablation_peephole(benchmark, calibration):
+    result = benchmark.pedantic(
+        run_peephole_ablation,
+        kwargs={"calibration": calibration, "trials": BENCH_TRIALS},
+        rounds=1, iterations=1)
+    for name, before, after, s_plain, s_tidy in result.rows:
+        assert after <= before, name
+        assert s_tidy >= s_plain - 0.08, name
+    record(benchmark, result.to_text())
+
+
+def test_ablation_swap_convention(benchmark, calibration):
+    result = benchmark.pedantic(
+        run_convention_ablation,
+        kwargs={"calibration": calibration, "trials": BENCH_TRIALS},
+        rounds=1, iterations=1)
+    # Both conventions must bracket the measurement: round-trip charges
+    # every executed CNOT (pessimistic), one-way only the outbound leg.
+    for name, one_way, round_trip, measured in result.rows:
+        assert round_trip <= one_way + 1e-12, name
+        assert round_trip <= measured + 0.12, name
+    # Empirically the paper's one-way convention is the better
+    # predictor (return-swap errors often miss the measured qubits).
+    assert result.mean_abs_error("one-way") <= \
+        result.mean_abs_error("round-trip") + 0.02
+    record(benchmark, result.to_text())

@@ -1,0 +1,67 @@
+"""Micro-benchmarks for the core components (compile + simulate paths).
+
+Unlike the ``bench_fig*`` modules (which regenerate paper artifacts
+once), these measure steady-state throughput of the hot paths with
+multiple pytest-benchmark rounds.
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.hardware import ReliabilityTables
+from repro.programs import build_benchmark, expected_output, random_circuit
+from repro.simulator import execute
+
+
+@pytest.mark.parametrize("variant,options", [
+    ("qiskit", CompilerOptions.qiskit()),
+    ("r-smt*", CompilerOptions.r_smt_star()),
+    ("greedye*", CompilerOptions.greedy_e()),
+    ("greedyv*", CompilerOptions.greedy_v()),
+])
+def test_compile_bv4(benchmark, calibration, tables, variant, options):
+    circuit = build_benchmark("BV4")
+    program = benchmark(compile_circuit, circuit, calibration, options,
+                        tables=tables)
+    assert len(program.placement) == 4
+
+
+def test_compile_tsmt_star_toffoli(benchmark, calibration, tables):
+    circuit = build_benchmark("Toffoli")
+    options = CompilerOptions.t_smt_star()
+    program = benchmark.pedantic(compile_circuit,
+                                 args=(circuit, calibration, options),
+                                 kwargs={"tables": tables},
+                                 rounds=3, iterations=1)
+    assert program.mapping.optimal
+
+
+def test_reliability_tables_construction(benchmark, calibration):
+    tables = benchmark(ReliabilityTables, calibration)
+    assert tables.best_path(0, 15).reliability > 0
+
+
+def test_greedy_mapping_large_circuit(benchmark, calibration, tables):
+    circuit = random_circuit(16, 1000, seed=3)
+    options = CompilerOptions.greedy_e()
+    program = benchmark(compile_circuit, circuit, calibration, options,
+                        tables=tables)
+    assert len(program.placement) == 16
+
+
+def test_simulate_bv4_256_trials(benchmark, calibration, tables):
+    program = compile_circuit(build_benchmark("BV4"), calibration,
+                              CompilerOptions.r_smt_star(), tables=tables)
+    result = benchmark.pedantic(
+        execute, args=(program, calibration),
+        kwargs={"trials": 256, "seed": 0,
+                "expected": expected_output("BV4")},
+        rounds=3, iterations=1)
+    assert 0.0 <= result.success_rate <= 1.0
+
+
+def test_qasm_emission(benchmark, calibration, tables):
+    program = compile_circuit(build_benchmark("HS6"), calibration,
+                              CompilerOptions.r_smt_star(), tables=tables)
+    text = benchmark(program.qasm)
+    assert text.startswith("OPENQASM 2.0;")

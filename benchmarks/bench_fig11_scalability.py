@@ -1,0 +1,43 @@
+"""Bench: regenerate Figure 11 (compile-time scalability sweep).
+
+The paper's full sweep reaches 3-hour compiles for R-SMT* at 32 qubits;
+here the optimal mapper is capped per compile, which preserves the
+trend (SMT exploding, greedy flat in the milliseconds).
+"""
+
+from conftest import record
+
+from repro.experiments import run_fig11
+
+
+def test_fig11_compile_time_scaling(benchmark):
+    result = benchmark.pedantic(
+        run_fig11,
+        kwargs={"smt_qubits": (4, 8, 32),
+                "greedy_qubits": (4, 8, 32, 128),
+                "gate_counts": (128, 256, 512, 1024, 2048),
+                "smt_time_cap": 10.0},
+        rounds=1, iterations=1)
+    greedy = [p for p in result.points if p.variant == "greedye*"]
+    smt = [p for p in result.points if p.variant == "r-smt*"]
+    # Greedy stays under a second everywhere, up to 128q / 2048 gates.
+    assert all(p.compile_time < 1.0 for p in greedy)
+    # SMT compile time dwarfs greedy once programs stop being toys
+    # (at 4 qubits the optimal search space is tiny; the paper's own
+    # curves show the separation opening with size).
+    for p in smt:
+        if p.n_qubits < 8:
+            continue
+        match = next(g for g in greedy
+                     if (g.n_qubits, g.n_gates) == (p.n_qubits, p.n_gates))
+        assert p.compile_time > match.compile_time
+    # SMT cost grows steeply with qubit count.
+    smt_by_qubits = {}
+    for p in smt:
+        smt_by_qubits.setdefault(p.n_qubits, []).append(p.compile_time)
+    if 4 in smt_by_qubits and 32 in smt_by_qubits:
+        assert max(smt_by_qubits[32]) > 10 * max(smt_by_qubits[4])
+    # At 32 qubits the optimal mapper hits its cap (the paper's 3-hour
+    # regime): at least one truncated sample.
+    assert any(p.truncated for p in smt if p.n_qubits == 32)
+    record(benchmark, result.to_text())

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 1 (daily calibration variation series)."""
+
+from conftest import record
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_calibration_series(benchmark):
+    result = benchmark.pedantic(run_fig1, kwargs={"days": 25},
+                                rounds=1, iterations=1)
+    # Shape: spatio-temporal spreads in the ballpark the paper reports
+    # (9.2x T2, 9.0x CNOT, 5.9x readout).
+    assert 3.0 < result.t2_variation < 30.0
+    assert 3.0 < result.cnot_variation < 30.0
+    assert 2.0 < result.readout_variation < 20.0
+    record(benchmark, result.to_text())

@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 5 (success rate, Qiskit vs T-SMT* vs R-SMT*).
+
+The paper's headline: R-SMT* obtains geomean 2.9x (up to 18x) higher
+success rate than Qiskit across the 12 benchmarks and beats T-SMT*
+throughout.
+"""
+
+from conftest import BENCH_TRIALS, record
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_success_rates(benchmark, calibration):
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"calibration": calibration,
+                          "trials": BENCH_TRIALS},
+        rounds=1, iterations=1)
+    # Shape: R-SMT* >= Qiskit on every benchmark; multi-x geomean.
+    for bench in result.runs:
+        assert result.success(bench, "r-smt*") >= \
+            result.success(bench, "qiskit") - 0.05, bench
+    assert result.geomean_improvement("qiskit", "r-smt*") > 1.5
+    # Zero-movement benchmarks beat the Toffoli (triangle) family on
+    # average (paper's §7 observation).
+    star = ["BV4", "BV6", "HS4", "QFT", "Adder"]
+    triangle = ["Toffoli", "Fredkin", "Or", "Peres"]
+    star_mean = sum(result.success(b, "r-smt*") for b in star) / len(star)
+    tri_mean = sum(result.success(b, "r-smt*")
+                   for b in triangle) / len(triangle)
+    assert star_mean > tri_mean - 0.05
+    record(benchmark, result.to_text())

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 7 (objective choice: omega sweep)."""
+
+from conftest import BENCH_TRIALS, record
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_objective_choice(benchmark, calibration):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"calibration": calibration,
+                          "trials": BENCH_TRIALS},
+        rounds=1, iterations=1)
+    for bench in result.runs:
+        balanced = result.success(bench, "r-smt*(w=0.5)")
+        # 7a: w=0.5 is best or near-best among the omegas.
+        for label in ("r-smt*(w=0)", "r-smt*(w=1)"):
+            assert balanced >= result.success(bench, label) - 0.08, bench
+        # 7b: R-SMT* duration is near T-SMT*'s optimum (within 50%).
+        assert result.duration(bench, "r-smt*(w=0.5)") <= \
+            1.5 * result.duration(bench, "t-smt*")
+        # 7c: every configuration compiles in under a minute.
+        for label in result.labels:
+            assert result.compile_time(bench, label) < 60.0
+    record(benchmark, result.to_text())

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 8 (BV4 mappings under the four objectives)."""
+
+from conftest import record
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_bv4_mappings(benchmark, calibration):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"calibration": calibration},
+        rounds=1, iterations=1)
+    qiskit = result.compiled["qiskit"]
+    balanced = result.compiled["r-smt*(w=0.5)"]
+    tsmt = result.compiled["t-smt*"]
+    # (a) Qiskit's lexicographic layout needs SWAPs.
+    assert qiskit.swap_count > 0
+    # (b) T-SMT* finds a zero-SWAP mapping.
+    assert tsmt.swap_count == 0
+    # (d) w=0.5 is zero-SWAP *and* the most reliable of the four.
+    assert balanced.swap_count == 0
+    assert balanced.estimated_success >= max(
+        p.estimated_success for p in result.compiled.values()) - 1e-9
+    record(benchmark, result.to_text())

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 9 (durations vs gate times, routing, objective)."""
+
+from conftest import record
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_execution_durations(benchmark, calibration):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"calibration": calibration},
+        rounds=1, iterations=1)
+    for bench in result.runs:
+        uniform = result.duration(bench, "t-smt(rr)")
+        calibrated = result.duration(bench, "t-smt*(rr)")
+        # Calibrated gate times never lengthen the schedule.
+        assert calibrated <= uniform + 1e-9, bench
+        # Routing policy barely matters at NISQ-benchmark size.
+        assert abs(result.duration(bench, "t-smt*(1bp)")
+                   - calibrated) <= 0.3 * max(calibrated, 1.0), bench
+        # R-SMT* stays close to the duration-optimal variant.
+        assert result.duration(bench, "r-smt*(1bp)") <= \
+            1.5 * result.duration(bench, "t-smt*(1bp)"), bench
+    assert result.geomean_gain_over_uniform() >= 1.0
+    record(benchmark, result.to_text())

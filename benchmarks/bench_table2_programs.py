@@ -1,0 +1,14 @@
+"""Bench: regenerate Table 2 (benchmark characteristics)."""
+
+from conftest import record
+
+from repro.experiments import run_table2
+
+
+def test_table2_benchmark_characteristics(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    assert len(result.rows) == 12
+    for row in result.rows:
+        assert row.qubits == row.paper_qubits
+        assert abs(row.cnots - row.paper_cnots) <= 3
+    record(benchmark, result.to_text())

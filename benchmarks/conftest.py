@@ -1,0 +1,31 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+Each ``bench_*`` module regenerates one table or figure of the paper,
+asserts its qualitative shape, and records the rendered rows/series in
+``benchmark.extra_info["result"]`` (also echoed to stdout with ``-s``).
+"""
+
+import pytest
+
+from repro.hardware import ReliabilityTables, default_ibmq16_calibration
+
+#: Trials per execution in the bench suite. Smaller than the paper's
+#: 8192 hardware shots but enough to resolve the multi-x effects.
+BENCH_TRIALS = 512
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    """The repo-wide default synthetic IBMQ16 snapshot."""
+    return default_ibmq16_calibration()
+
+
+@pytest.fixture(scope="session")
+def tables(calibration):
+    return ReliabilityTables(calibration)
+
+
+def record(benchmark, result_text: str) -> None:
+    """Attach a rendered figure/table to the benchmark record."""
+    benchmark.extra_info["result"] = result_text
+    print("\n" + result_text)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Daily recompilation study (the paper's Figure-6 workflow).
+
+NISQ machines drift: the qubits and couplings that are most reliable
+today may be the worst next week. This example simulates a week of
+operation. Each "morning" it fetches the day's calibration and compiles
+the Toffoli benchmark three ways:
+
+* ``frozen``   — R-SMT* mapping compiled once on day 0 and reused
+  (what you get without noise adaptivity);
+* ``t-smt*``   — recompiled daily, but optimizing only duration;
+* ``r-smt*``   — recompiled daily against the day's error rates.
+
+Run: python examples/daily_recompilation.py
+"""
+
+from repro import CompilerOptions, CalibrationGenerator, compile_circuit, execute
+from repro.hardware import NoiseProfile, ibmq16_topology
+from repro.programs import build_benchmark, expected_output
+
+DAYS = 7
+TRIALS = 1024
+
+#: A machine whose day-to-day drift rivals its fabrication spread —
+#: the regime where daily recompilation pays off most visibly.
+DRIFTY = NoiseProfile(drift_sigma=0.5, drift_rho=0.4)
+
+
+def main() -> None:
+    circuit = build_benchmark("Toffoli")
+    answer = expected_output("Toffoli")
+    generator = CalibrationGenerator(ibmq16_topology(), seed=2019,
+                                     profile=DRIFTY)
+
+    day0 = generator.snapshot(0)
+    frozen = compile_circuit(circuit, day0, CompilerOptions.r_smt_star())
+
+    print(f"{'day':>4} {'frozen':>8} {'t-smt*':>8} {'r-smt*':>8}")
+    wins = {"frozen": 0.0, "t-smt*": 0.0, "r-smt*": 0.0}
+    for day in range(DAYS):
+        cal = generator.snapshot(day)
+        daily_t = compile_circuit(circuit, cal,
+                                  CompilerOptions.t_smt_star(routing="1bp"))
+        daily_r = compile_circuit(circuit, cal,
+                                  CompilerOptions.r_smt_star())
+        rates = {}
+        for label, program in (("frozen", frozen), ("t-smt*", daily_t),
+                               ("r-smt*", daily_r)):
+            result = execute(program, cal, trials=TRIALS, seed=100 + day,
+                             expected=answer)
+            rates[label] = result.success_rate
+            wins[label] += result.success_rate
+        print(f"{day:>4} {rates['frozen']:>8.3f} {rates['t-smt*']:>8.3f} "
+              f"{rates['r-smt*']:>8.3f}")
+
+    print("\nweek-average success rate:")
+    for label, total in wins.items():
+        print(f"  {label:8s} {total / DAYS:.3f}")
+    print("\nNoise-adaptive daily recompilation (r-smt*) should lead; "
+          "the frozen mapping decays as the machine drifts away from "
+          "day 0's calibration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compile-time scalability: optimal vs heuristic mapping (Figure 11).
+
+Sweeps random programs across qubit and gate counts, comparing the
+R-SMT* branch-and-bound mapper (with a per-compile time cap) against
+the GreedyE* heuristic. The optimal mapper's cost explodes with program
+size while the heuristic stays in the milliseconds — the paper's
+argument for heuristics beyond ~32 qubits.
+
+Run: python examples/scalability_study.py
+"""
+
+from repro import CompilerOptions, CalibrationGenerator, compile_circuit
+from repro.hardware import square_topology
+from repro.programs import random_circuit
+
+SMT_CAP_SECONDS = 5.0
+
+
+def human(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:7.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:7.1f} ms"
+    return f"{seconds:7.2f} s "
+
+
+def main() -> None:
+    print(f"{'qubits':>7} {'gates':>6} {'greedye*':>11} "
+          f"{'r-smt*':>11} {'capped?':>8}")
+    for n_qubits in (4, 8, 16, 32, 128):
+        topo = square_topology(max(n_qubits, 4))
+        cal = CalibrationGenerator(topo, seed=1).snapshot(0)
+        for n_gates in (128, 512, 2048):
+            circuit = random_circuit(n_qubits, n_gates, seed=n_gates)
+            greedy = compile_circuit(circuit, cal,
+                                     CompilerOptions.greedy_e())
+            row = (f"{n_qubits:>7} {n_gates:>6} "
+                   f"{human(greedy.compile_time):>11}")
+            if n_qubits <= 32 and n_gates <= 512:
+                options = CompilerOptions.r_smt_star().with_(
+                    solver_time_limit=SMT_CAP_SECONDS)
+                smt = compile_circuit(circuit, cal, options)
+                capped = "yes" if not smt.mapping.optimal else "no"
+                row += f" {human(smt.compile_time):>11} {capped:>8}"
+            else:
+                row += f" {'(skipped)':>11} {'-':>8}"
+            print(row)
+    print("\nGreedy mapping stays flat while the optimal search blows "
+          "up — run with a larger cap to watch it head toward the "
+          "paper's 3-hour compiles.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,245 @@
+"""Command-line interface.
+
+Entry points (also available as ``python -m repro``):
+
+* ``repro compile``     — compile a benchmark or ScaffIR/QASM file and
+  print the optimized OpenQASM (the paper's toolflow output);
+* ``repro run``         — compile and execute on the noisy simulator,
+  reporting the measured success rate;
+* ``repro calibration`` — print (or save) a day's calibration snapshot;
+* ``repro experiment``  — regenerate one of the paper's figures/tables;
+* ``repro benchmarks``  — list the registered Table-2 benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.compiler import CompilerOptions, compile_circuit, verify_compiled
+from repro.exceptions import ReproError
+from repro.hardware import device_calibration
+from repro.ir import parse_scaffir, qasm_to_circuit
+from repro.programs import benchmark_names, expected_output, get_benchmark
+from repro.simulator import execute
+
+_VARIANT_CHOICES = ("qiskit", "t-smt", "t-smt*", "r-smt*", "greedyv*",
+                    "greedye*")
+
+_EXPERIMENTS = ("fig1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+                "fig10", "fig11")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Noise-adaptive compiler mappings for NISQ computers "
+                    "(ASPLOS 2019 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_machine_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--device", default="ibmq16",
+                       help="preset device (default: ibmq16)")
+        p.add_argument("--day", type=int, default=0,
+                       help="calibration day (default: 0)")
+        p.add_argument("--calibration-seed", type=int, default=2019,
+                       help="calibration generator seed")
+
+    def add_compile_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--variant", default="r-smt*",
+                       choices=_VARIANT_CHOICES)
+        p.add_argument("--routing", default=None,
+                       choices=("rr", "1bp", "best", "shortest"),
+                       help="routing policy (default: variant's own)")
+        p.add_argument("--omega", type=float, default=0.5,
+                       help="readout weight for r-smt* (default: 0.5)")
+        p.add_argument("--time-limit", type=float, default=60.0,
+                       help="solver time limit in seconds")
+        p.add_argument("--peephole", action="store_true",
+                       help="apply adjacent-inverse cancellation")
+        group = p.add_mutually_exclusive_group(required=True)
+        group.add_argument("--benchmark", choices=benchmark_names(),
+                           help="a registered Table-2 benchmark")
+        group.add_argument("--scaffir", type=Path,
+                           help="path to a ScaffIR program")
+        group.add_argument("--qasm", type=Path,
+                           help="path to an OpenQASM 2.0 program")
+
+    compile_p = sub.add_parser("compile", help="compile to OpenQASM")
+    add_machine_args(compile_p)
+    add_compile_args(compile_p)
+    compile_p.add_argument("--output", type=Path, default=None,
+                           help="write QASM here instead of stdout")
+    compile_p.add_argument("--verify", action="store_true",
+                           help="verify the compiled program")
+
+    run_p = sub.add_parser("run", help="compile and simulate")
+    add_machine_args(run_p)
+    add_compile_args(run_p)
+    run_p.add_argument("--trials", type=int, default=1024)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--expected", default=None,
+                       help="expected outcome string (default: the "
+                            "benchmark's registered answer)")
+
+    cal_p = sub.add_parser("calibration", help="print calibration data")
+    add_machine_args(cal_p)
+    cal_p.add_argument("--output", type=Path, default=None,
+                       help="write JSON here instead of a summary")
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate a paper figure/table")
+    exp_p.add_argument("name", choices=_EXPERIMENTS)
+    exp_p.add_argument("--trials", type=int, default=1024)
+    exp_p.add_argument("--days", type=int, default=None,
+                       help="days for fig1/fig6")
+
+    sub.add_parser("benchmarks", help="list registered benchmarks")
+    return parser
+
+
+def _load_circuit(args: argparse.Namespace):
+    if args.benchmark:
+        return (get_benchmark(args.benchmark).build(),
+                expected_output(args.benchmark))
+    if args.scaffir:
+        return parse_scaffir(args.scaffir.read_text(),
+                             name=args.scaffir.stem), None
+    return qasm_to_circuit(args.qasm.read_text(), name=args.qasm.stem), None
+
+
+def _options(args: argparse.Namespace) -> CompilerOptions:
+    defaults = {
+        "qiskit": CompilerOptions.qiskit(),
+        "t-smt": CompilerOptions.t_smt(),
+        "t-smt*": CompilerOptions.t_smt_star(),
+        "r-smt*": CompilerOptions.r_smt_star(omega=args.omega),
+        "greedyv*": CompilerOptions.greedy_v(),
+        "greedye*": CompilerOptions.greedy_e(),
+    }
+    options = defaults[args.variant].with_(
+        solver_time_limit=args.time_limit, peephole=args.peephole)
+    if args.routing is not None:
+        options = options.with_(routing=args.routing)
+    return options
+
+
+def _cmd_compile(args: argparse.Namespace, out) -> int:
+    circuit, _ = _load_circuit(args)
+    calibration = device_calibration(args.device, day=args.day,
+                                     seed=args.calibration_seed)
+    program = compile_circuit(circuit, calibration, _options(args))
+    print(program.summary(), file=sys.stderr)
+    if args.verify:
+        report = verify_compiled(program, calibration)
+        report.raise_if_failed()
+        print(f"verification OK ({len(report.checks_run)} checks)",
+              file=sys.stderr)
+    text = program.qasm()
+    if args.output:
+        args.output.write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        out.write(text)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    circuit, registered_answer = _load_circuit(args)
+    calibration = device_calibration(args.device, day=args.day,
+                                     seed=args.calibration_seed)
+    program = compile_circuit(circuit, calibration, _options(args))
+    expected = args.expected or registered_answer
+    result = execute(program, calibration, trials=args.trials,
+                     seed=args.seed, expected=expected)
+    out.write(program.summary() + "\n")
+    if expected is not None:
+        out.write(f"success rate: {result.success_rate:.4f} "
+                  f"({result.counts.get(expected, 0)}/{result.trials} "
+                  f"trials correct)\n")
+    out.write(f"distribution overlap: {result.overlap:.4f}\n")
+    top = sorted(result.counts.items(), key=lambda kv: -kv[1])[:5]
+    out.write("top outcomes: "
+              + ", ".join(f"{o}:{c}" for o, c in top) + "\n")
+    return 0
+
+
+def _cmd_calibration(args: argparse.Namespace, out) -> int:
+    calibration = device_calibration(args.device, day=args.day,
+                                     seed=args.calibration_seed)
+    if args.output:
+        args.output.write_text(calibration.to_json())
+        print(f"wrote {args.output}", file=sys.stderr)
+        return 0
+    out.write(f"{calibration.topology.name} {calibration.label}\n")
+    out.write(f"mean CNOT error:    {calibration.mean_cnot_error():.4f}\n")
+    out.write(f"mean readout error: {calibration.mean_readout_error():.4f}\n")
+    out.write(f"mean CNOT duration: "
+              f"{calibration.mean_cnot_duration():.2f} slots\n")
+    out.write(f"worst coherence:    "
+              f"{calibration.worst_coherence_slots():.0f} slots\n")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace, out) -> int:
+    from repro import experiments
+
+    name = args.name
+    if name == "fig1":
+        result = experiments.run_fig1(days=args.days or 25)
+    elif name == "table2":
+        result = experiments.run_table2()
+    elif name == "fig5":
+        result = experiments.run_fig5(trials=args.trials)
+    elif name == "fig6":
+        result = experiments.run_fig6(days=args.days or 7,
+                                      trials=args.trials)
+    elif name == "fig7":
+        result = experiments.run_fig7(trials=args.trials)
+    elif name == "fig8":
+        result = experiments.run_fig8()
+    elif name == "fig9":
+        result = experiments.run_fig9()
+    elif name == "fig10":
+        result = experiments.run_fig10(trials=args.trials)
+    else:
+        result = experiments.run_fig11()
+    out.write(result.to_text() + "\n")
+    return 0
+
+
+def _cmd_benchmarks(out) -> int:
+    out.write(f"{'name':10s} {'qubits':>6} {'gates':>6} {'CNOTs':>6} "
+              f"{'answer':>10}\n")
+    for name in benchmark_names():
+        spec = get_benchmark(name)
+        circuit = spec.build()
+        out.write(f"{name:10s} {circuit.n_qubits:>6} "
+                  f"{circuit.gate_count():>6} {circuit.cnot_count():>6} "
+                  f"{spec.expected_output:>10}\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "compile":
+            return _cmd_compile(args, out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "calibration":
+            return _cmd_calibration(args, out)
+        if args.command == "experiment":
+            return _cmd_experiment(args, out)
+        return _cmd_benchmarks(out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Top-level compilation pipeline (Fig. 3 of the paper).
+
+``compile_circuit`` runs: mapping (per the selected variant) →
+scheduling and routing (list scheduler + routing policy) → SWAP
+insertion → OpenQASM code generation, returning a
+:class:`CompiledProgram` carrying the executable and its predicted
+quality metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.compiler.mapping.base import Mapper, MappingResult
+from repro.compiler.mapping.greedy import GreedyEdgeMapper, GreedyVertexMapper
+from repro.compiler.mapping.smt import ReliabilitySmtMapper, TimeSmtMapper
+from repro.compiler.mapping.trivial import TrivialMapper
+from repro.compiler.metrics import ReliabilityEstimate, estimate_reliability
+from repro.compiler.options import (
+    VARIANT_GREEDY_E,
+    VARIANT_GREEDY_V,
+    VARIANT_QISKIT,
+    VARIANT_R_SMT_STAR,
+    VARIANT_T_SMT,
+    VARIANT_T_SMT_STAR,
+    CompilerOptions,
+)
+from repro.compiler.scheduling.list_scheduler import Schedule, schedule_circuit
+from repro.compiler.swap_insert import (
+    PhysicalProgram,
+    apply_peephole,
+    insert_swaps,
+)
+from repro.exceptions import CompilationError
+from repro.hardware.calibration import Calibration
+from repro.hardware.reliability import ReliabilityTables
+from repro.ir.circuit import Circuit
+from repro.ir.qasm import circuit_to_qasm
+
+
+@dataclass
+class CompiledProgram:
+    """The compiler's output artifact.
+
+    Attributes:
+        logical: The input circuit.
+        physical: Hardware-level program (swaps expanded) with timing.
+        placement: Program qubit -> hardware qubit.
+        schedule: The logical-level schedule.
+        reliability: Compile-time reliability estimate.
+        options: The configuration used.
+        mapping: Mapper diagnostics (objective, optimality, nodes).
+        compile_time: End-to-end compilation seconds.
+        calibration_label: Which calibration snapshot was used.
+    """
+
+    logical: Circuit
+    physical: PhysicalProgram
+    placement: Dict[int, int]
+    schedule: Schedule
+    reliability: ReliabilityEstimate
+    options: CompilerOptions
+    mapping: MappingResult
+    compile_time: float
+    calibration_label: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Scheduled execution duration in timeslots."""
+        return self.schedule.makespan
+
+    @property
+    def swap_count(self) -> int:
+        """One-way SWAP operations inserted for communication."""
+        return self.schedule.swap_count()
+
+    @property
+    def estimated_success(self) -> float:
+        """Paper-convention reliability score of the mapping."""
+        return self.reliability.score
+
+    def qasm(self) -> str:
+        """OpenQASM 2.0 text of the physical program."""
+        return circuit_to_qasm(self.physical.circuit)
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (f"{self.logical.name}: variant={self.options.variant} "
+                f"duration={self.duration:.0f} slots "
+                f"swaps={self.swap_count} "
+                f"est.reliability={self.estimated_success:.3f} "
+                f"compile={self.compile_time * 1000:.1f} ms")
+
+
+def make_mapper(options: CompilerOptions) -> Mapper:
+    """Instantiate the mapping pass for a variant."""
+    if options.variant == VARIANT_QISKIT:
+        return TrivialMapper()
+    if options.variant in (VARIANT_T_SMT, VARIANT_T_SMT_STAR):
+        return TimeSmtMapper(options)
+    if options.variant == VARIANT_R_SMT_STAR:
+        return ReliabilitySmtMapper(options)
+    if options.variant == VARIANT_GREEDY_V:
+        return GreedyVertexMapper(options)
+    if options.variant == VARIANT_GREEDY_E:
+        return GreedyEdgeMapper(options)
+    raise CompilationError(f"unknown variant {options.variant!r}")
+
+
+def compile_circuit(circuit: Circuit, calibration: Calibration,
+                    options: Optional[CompilerOptions] = None,
+                    tables: Optional[ReliabilityTables] = None
+                    ) -> CompiledProgram:
+    """Compile *circuit* for the machine described by *calibration*.
+
+    Args:
+        circuit: Logical program (any qubit connectivity).
+        calibration: Machine snapshot to adapt to.
+        options: Variant selection; defaults to R-SMT* with omega 0.5.
+        tables: Precomputed routing tables (reuse across compilations of
+            the same snapshot to save time).
+
+    Returns:
+        The compiled artifact, ready for the noisy executor or QASM dump.
+    """
+    options = options or CompilerOptions.r_smt_star()
+    start = time.perf_counter()
+    if tables is None:
+        tables = ReliabilityTables(calibration)
+    mapper = make_mapper(options)
+    mapping = mapper.run(circuit, calibration, tables)
+    schedule = schedule_circuit(circuit, mapping.placement, calibration,
+                                tables, options)
+    physical = insert_swaps(circuit, schedule, mapping.placement,
+                            calibration)
+    if options.peephole:
+        physical = apply_peephole(physical, calibration)
+    reliability = estimate_reliability(circuit, schedule, mapping.placement,
+                                       calibration)
+    elapsed = time.perf_counter() - start
+    return CompiledProgram(
+        logical=circuit,
+        physical=physical,
+        placement=dict(mapping.placement),
+        schedule=schedule,
+        reliability=reliability,
+        options=options,
+        mapping=mapping,
+        compile_time=elapsed,
+        calibration_label=calibration.label,
+    )

@@ -1,0 +1,1 @@
+"""Compiler mapping passes."""

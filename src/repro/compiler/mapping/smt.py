@@ -1,0 +1,292 @@
+"""Optimization-based mapping (the paper's §4, "Optimal Compilation").
+
+Builds a constraint model per the paper's formulation and hands it to
+the branch-and-bound engine (the Z3 substitute, see DESIGN.md):
+
+* Constraint 1 — every program qubit maps inside the grid: encoded in
+  the variable domains (all hardware qubit ids).
+* Constraint 2 — distinct locations: :class:`AllDifferent`.
+* Constraints 3-9 — scheduling/routing: enforced by the deterministic
+  list scheduler; the T-SMT objective evaluates it at search leaves,
+  bounded below by the dependency-DAG critical path.
+* Constraints 10-11 — reliability tracking: EC/readout lookups become
+  the additive log terms of the Eq.-12 objective for R-SMT*.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.mapping.base import Mapper, MappingResult
+from repro.compiler.options import CompilerOptions
+from repro.compiler.scheduling.list_scheduler import makespan_of
+from repro.exceptions import MappingError
+from repro.hardware.calibration import (
+    READOUT_SLOTS,
+    SINGLE_QUBIT_SLOTS,
+    Calibration,
+)
+from repro.hardware.reliability import ReliabilityTables
+from repro.ir.circuit import Circuit
+from repro.ir.dag import DependencyDAG
+from repro.solver import (
+    AllDifferent,
+    BranchAndBoundSolver,
+    CallableObjective,
+    Model,
+    PairTerm,
+    SumObjective,
+    UnaryTerm,
+    Variable,
+)
+
+_LOG_FLOOR = 1e-12
+
+
+def _var(q: int) -> str:
+    return f"loc_q{q}"
+
+
+def _interacting_qubits(circuit: Circuit) -> List[int]:
+    """Program qubits participating in at least one two-qubit gate,
+    most-interacting first (the branching order).
+
+    Non-interacting qubits never influence routing or makespan, so the
+    search can omit them and place them afterwards without losing
+    optimality (readout-only terms are assigned by a greedy matching,
+    optimal by the rearrangement inequality). Branching on the busiest
+    qubit first pins the one-endpoint-placed duration bounds early.
+    """
+    degree = Counter(q for g in circuit.gates if g.is_two_qubit
+                     for q in g.qubits)
+    qubits = sorted(degree, key=lambda q: (-degree[q], q))
+    return qubits or [0]
+
+
+def _base_model(search_qubits: List[int],
+                calibration: Calibration) -> Model:
+    """Variables (Constraint 1 via domains) + all-different (Constraint 2)."""
+    model = Model()
+    hw = list(calibration.topology.iter_qubits())
+    for q in search_qubits:
+        model.add_variable(_var(q), hw)
+    model.add_constraint(AllDifferent([_var(q) for q in search_qubits]))
+    return model
+
+
+def _complete_placement(circuit: Circuit, calibration: Calibration,
+                        partial: Dict[int, int]) -> Dict[int, int]:
+    """Place the remaining (non-interacting) qubits.
+
+    Measured qubits take the most reliable remaining readout locations,
+    heaviest-measured first; unmeasured qubits fill lowest free ids.
+    """
+    placement = dict(partial)
+    used = set(placement.values())
+    free = [h for h in calibration.topology.iter_qubits() if h not in used]
+    measure_counts = Counter(g.qubits[0] for g in circuit.measurements)
+    rest = [q for q in range(circuit.n_qubits) if q not in placement]
+    rest.sort(key=lambda q: (-measure_counts.get(q, 0), q))
+    free.sort(key=lambda h: (-calibration.readout_reliability(h), h))
+    for q, h in zip(rest, free):
+        placement[q] = h
+    return placement
+
+
+class ReliabilitySmtMapper(Mapper):
+    """R-SMT*: maximize the Eq.-12 weighted log-reliability objective.
+
+    Args:
+        options: Supplies omega and the solver time limit.
+    """
+
+    def __init__(self, options: CompilerOptions) -> None:
+        self.options = options
+
+    def run(self, circuit: Circuit, calibration: Calibration,
+            tables: ReliabilityTables) -> MappingResult:
+        self.check_fits(circuit, calibration)
+        omega = self.options.omega
+        search_qubits = _interacting_qubits(circuit)
+        model = _base_model(search_qubits, calibration)
+
+        terms: List = []
+        # Readout terms: one per measurement (Constraint 10). Readouts on
+        # non-interacting qubits are optimized by the greedy completion.
+        readout_counts = Counter(g.qubits[0] for g in circuit.measurements)
+        for q, count in sorted(readout_counts.items()):
+            if q not in search_qubits:
+                continue
+
+            def score(h: int, _count: int = count) -> float:
+                rel = max(calibration.readout_reliability(h), _LOG_FLOOR)
+                return omega * _count * math.log(rel)
+            terms.append(UnaryTerm(_var(q), score))
+        # CNOT terms: one per ordered interacting pair, weighted by the
+        # number of CNOTs between the pair (Constraint 11 via EC lookups).
+        cnot_counts = Counter((g.control, g.target) for g in circuit.cnots)
+        for (qc, qt), count in sorted(cnot_counts.items()):
+            def score(hc: int, ht: int, _count: int = count) -> float:
+                if hc == ht:
+                    return _count * math.log(_LOG_FLOOR)
+                rel = max(tables.best_one_bend(hc, ht).reliability,
+                          _LOG_FLOOR)
+                return (1.0 - omega) * _count * math.log(rel)
+            terms.append(PairTerm(_var(qc), _var(qt), score))
+
+        model.objective = SumObjective(terms)
+        solver = BranchAndBoundSolver(
+            time_limit=self.options.solver_time_limit)
+        start = time.perf_counter()
+        warm = {_var(q): q for q in search_qubits}
+        result = solver.solve(model, initial=warm)
+        elapsed = time.perf_counter() - start
+        if result.assignment is None:
+            raise MappingError("R-SMT* found no feasible placement")
+        partial = {q: result.assignment[_var(q)] for q in search_qubits}
+        placement = _complete_placement(circuit, calibration, partial)
+        out = MappingResult(placement=placement,
+                            objective=result.objective,
+                            optimal=result.optimal,
+                            solve_time=elapsed, nodes=result.nodes)
+        out.validate(circuit, calibration)
+        return out
+
+
+class TimeSmtMapper(Mapper):
+    """T-SMT / T-SMT*: minimize schedule makespan.
+
+    The noise-unaware flavor (``t-smt``) assumes uniform CNOT durations
+    and the static coherence bound MT (Constraint 4); the calibrated
+    flavor (``t-smt*``) uses the Delta duration matrix and per-qubit
+    coherence deadlines (Constraints 5-6).
+    """
+
+    def __init__(self, options: CompilerOptions) -> None:
+        if options.variant not in ("t-smt", "t-smt*"):
+            raise MappingError(
+                f"TimeSmtMapper cannot run variant {options.variant!r}")
+        self.options = options
+
+    def run(self, circuit: Circuit, calibration: Calibration,
+            tables: ReliabilityTables) -> MappingResult:
+        self.check_fits(circuit, calibration)
+        search_qubits = _interacting_qubits(circuit)
+        model = _base_model(search_qubits, calibration)
+        dag = DependencyDAG.from_circuit(circuit)
+        uniform = self.options.variant == "t-smt"
+        min_cnot_slots = (self.options.uniform_cnot_slots if uniform
+                          else min(e.cnot_duration_slots
+                                   for e in calibration.edges.values()))
+        if uniform:
+            self._break_symmetry(model, search_qubits, calibration)
+
+        # Per-location best-case routed-CNOT duration: tightens the
+        # critical-path bound for CNOTs with one placed endpoint.
+        if uniform:
+            min_from = {h: self.options.uniform_cnot_slots
+                        for h in calibration.topology.iter_qubits()}
+        else:
+            min_from = {
+                h: min(tables.delta(h, h2)
+                       for h2 in calibration.topology.iter_qubits()
+                       if h2 != h)
+                for h in calibration.topology.iter_qubits()
+            }
+
+        all_hw = list(calibration.topology.iter_qubits())
+        rest_qubits = [q for q in range(circuit.n_qubits)
+                       if q not in search_qubits]
+
+        def value_fn(assignment: Dict[str, int]) -> float:
+            # Non-interacting qubits do not affect the makespan; fill
+            # them with any free locations (cheap, called per leaf).
+            placement = {q: assignment[_var(q)] for q in search_qubits}
+            used = set(placement.values())
+            free = (h for h in all_hw if h not in used)
+            for q in rest_qubits:
+                placement[q] = next(free)
+            return -makespan_of(circuit, placement, calibration, tables,
+                                self.options, dag=dag)
+
+        def bound_fn(assignment: Dict[str, int], domains) -> float:
+            weights = self._optimistic_durations(
+                circuit, assignment, calibration, tables, min_cnot_slots,
+                min_from)
+            return -dag.longest_path_length(weights)
+
+        model.objective = CallableObjective(value_fn, bound_fn)
+        solver = BranchAndBoundSolver(
+            time_limit=self.options.solver_time_limit)
+        start = time.perf_counter()
+        warm = {_var(q): q for i, q in enumerate(search_qubits)}
+        if not model.validate(warm):
+            warm = None
+        result = solver.solve(model, initial=warm)
+        elapsed = time.perf_counter() - start
+        if result.assignment is None:
+            raise MappingError("T-SMT found no feasible placement")
+        partial = {q: result.assignment[_var(q)] for q in search_qubits}
+        placement = _complete_placement(circuit, calibration, partial)
+        out = MappingResult(placement=placement,
+                            objective=result.objective,
+                            optimal=result.optimal,
+                            solve_time=elapsed, nodes=result.nodes)
+        out.validate(circuit, calibration)
+        return out
+
+    @staticmethod
+    def _break_symmetry(model: Model, search_qubits: List[int],
+                        calibration: Calibration) -> None:
+        """Restrict the first variable to one grid quadrant.
+
+        With uniform gate times the machine model is invariant under the
+        grid's reflections, so every solution has a representative with
+        the first searched qubit in the canonical quadrant.
+        """
+        topo = calibration.topology
+        canonical = [h for h in topo.iter_qubits()
+                     if topo.coords(h)[0] <= (topo.mx - 1) / 2
+                     and topo.coords(h)[1] <= (topo.my - 1) / 2]
+        first = model.variable(_var(search_qubits[0]))
+        model.variables[model.variables.index(first)] = Variable(
+            name=first.name, domain=tuple(canonical))
+
+    def _optimistic_durations(self, circuit: Circuit,
+                              assignment: Dict[str, int],
+                              calibration: Calibration,
+                              tables: ReliabilityTables,
+                              min_cnot_slots: float,
+                              min_from: Dict[int, float]) -> List[float]:
+        """Admissible per-gate durations for the critical-path bound.
+
+        CNOTs with both endpoints placed get their true routed duration;
+        one placed endpoint gets that location's best-case routed time;
+        none gets the global best-case adjacent-CNOT time.
+        """
+        uniform = self.options.variant == "t-smt"
+        weights: List[float] = []
+        for gate in circuit.gates:
+            if gate.name == "barrier":
+                weights.append(0.0)
+            elif gate.is_measure:
+                weights.append(float(READOUT_SLOTS))
+            elif gate.is_two_qubit:
+                hc = assignment.get(_var(gate.qubits[0]))
+                ht = assignment.get(_var(gate.qubits[1]))
+                if hc is None and ht is None:
+                    weights.append(min_cnot_slots)
+                elif hc is None or ht is None or hc == ht:
+                    placed = ht if hc is None else hc
+                    weights.append(min_from[placed])
+                elif uniform:
+                    weights.append(tables.uniform_duration(
+                        hc, ht, tau_cnot=self.options.uniform_cnot_slots))
+                else:
+                    weights.append(tables.delta(hc, ht))
+            else:
+                weights.append(float(SINGLE_QUBIT_SLOTS))
+        return weights

@@ -1,0 +1,31 @@
+"""Trivial (lexicographic) placement — the Qiskit 0.5.7 baseline layout.
+
+The paper observes (Fig. 8a) that Qiskit "places qubits in a
+lexicographic order without considering CNOT and readout errors".
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.compiler.mapping.base import Mapper, MappingResult
+from repro.hardware.calibration import Calibration
+from repro.hardware.reliability import ReliabilityTables
+from repro.ir.circuit import Circuit
+
+
+class TrivialMapper(Mapper):
+    """Program qubit *i* goes to hardware qubit *i*."""
+
+    def run(self, circuit: Circuit, calibration: Calibration,
+            tables: ReliabilityTables) -> MappingResult:
+        self.check_fits(circuit, calibration)
+        start = time.perf_counter()
+        placement = {q: q for q in range(circuit.n_qubits)}
+        result = MappingResult(
+            placement=placement,
+            optimal=False,
+            solve_time=time.perf_counter() - start,
+        )
+        result.validate(circuit, calibration)
+        return result

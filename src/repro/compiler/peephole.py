@@ -1,0 +1,109 @@
+"""Peephole optimization: adjacent inverse-pair cancellation.
+
+An optional post-pass (off by default, to keep the paper's baseline
+comparisons faithful — Qiskit 0.5.7 performed no such cleanup either).
+It repeatedly removes adjacent gate pairs that compose to the identity:
+
+* self-inverse pairs — ``h h``, ``x x``, ``z z``, ``cx cx`` (same
+  control/target), ``swap swap``;
+* explicit inverse pairs — ``s sdg``, ``t tdg`` (either order);
+* rotation pairs — ``rz(a) rz(-a)`` and exact-zero rotations.
+
+"Adjacent" means no intervening operation touches any shared qubit, so
+the pass is exact (it commutes only across disjoint gates). On physical
+programs this cancels the swap-back of one routed CNOT against the
+identical swap-forward of the next CNOT using the same route — a real
+reduction in movement cost the paper's static swap-there-and-back model
+leaves on the table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import PARAMETRIC_GATES, Gate
+
+#: Gates that are their own inverse.
+_SELF_INVERSE = frozenset({"id", "h", "x", "y", "z", "cx", "cz", "swap"})
+
+#: Explicit inverse name pairs (checked in both orders).
+_INVERSE_NAMES = {("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t")}
+
+
+def _cancels(a: Gate, b: Gate) -> bool:
+    """Whether gates *a* then *b* compose to the identity."""
+    if a.qubits != b.qubits:
+        return False
+    if a.name in _SELF_INVERSE and a.name == b.name:
+        return True
+    if (a.name, b.name) in _INVERSE_NAMES:
+        return True
+    if (a.name == b.name and a.name in PARAMETRIC_GATES
+            and a.param is not None and b.param is not None):
+        return abs(a.param + b.param) < 1e-12
+    return False
+
+
+def _is_identity(gate: Gate) -> bool:
+    """Whether a single gate is the identity."""
+    if gate.name == "id":
+        return True
+    return (gate.name in PARAMETRIC_GATES and gate.param is not None
+            and abs(gate.param) < 1e-12)
+
+
+def cancel_adjacent_inverses(circuit: Circuit,
+                             max_passes: int = 50) -> Circuit:
+    """Return a circuit with adjacent inverse pairs removed.
+
+    The pass looks past gates on disjoint qubits when pairing (disjoint
+    gates commute), iterating to a fixed point or *max_passes*.
+    """
+    gates: List[Optional[Gate]] = [
+        g for g in circuit.gates if not _is_identity(g)]
+    for _ in range(max_passes):
+        changed = False
+        for i, gate in enumerate(gates):
+            if gate is None or not gate.is_unitary or gate.name == "barrier":
+                continue
+            partner = _next_on_qubits(gates, i)
+            if partner is None:
+                continue
+            other = gates[partner]
+            if other is not None and _cancels(gate, other):
+                gates[i] = None
+                gates[partner] = None
+                changed = True
+        gates = [g for g in gates if g is not None]
+        if not changed:
+            break
+    out = Circuit(circuit.n_qubits, circuit.n_cbits, name=circuit.name)
+    out.extend(gates)
+    return out
+
+
+def _next_on_qubits(gates: List[Optional[Gate]], i: int) -> Optional[int]:
+    """Index of the next gate sharing a qubit with ``gates[i]``, or None
+    if a partial overlap (or non-unitary op) blocks cancellation."""
+    qubits = set(gates[i].qubits)
+    for j in range(i + 1, len(gates)):
+        other = gates[j]
+        if other is None:
+            continue
+        shared = qubits & set(other.qubits)
+        if not shared:
+            continue
+        # A candidate partner must cover exactly the same qubits and be
+        # unitary; anything else (partial overlap, barrier, measure)
+        # blocks the cancellation window.
+        if (other.is_unitary and other.name != "barrier"
+                and set(other.qubits) == qubits):
+            return j
+        return None
+    return None
+
+
+def count_cancellations(before: Circuit, after: Circuit) -> int:
+    """How many gates the pass removed."""
+    return before.gate_count() - after.gate_count()

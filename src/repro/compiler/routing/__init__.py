@@ -1,0 +1,1 @@
+"""Compiler routing passes."""

@@ -1,0 +1,1 @@
+"""Compiler scheduling passes."""

@@ -1,0 +1,190 @@
+"""SWAP insertion: lowering a scheduled logical circuit to hardware gates.
+
+Every routed CNOT becomes: SWAPs moving the control state along the
+route until it is adjacent to the target, the CNOT itself, and the
+mirror SWAPs restoring the layout (the paper's static-mapping model,
+whose duration is ``2 (d-1) tau_swap + tau_cnot``). Each SWAP expands
+into three CNOTs on its edge. The result is a physical circuit whose
+two-qubit gates all lie on coupling edges.
+
+Physical gate *times* are assigned by an ASAP pass over the emitted
+order using the calibrated per-edge durations — the timing the control
+electronics would actually realize — independent of whatever duration
+model the mapping variant assumed. The noisy simulator uses these times
+for idle-decoherence windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.compiler.scheduling.list_scheduler import Schedule
+from repro.exceptions import CompilationError
+from repro.hardware.calibration import (
+    READOUT_SLOTS,
+    SINGLE_QUBIT_SLOTS,
+    Calibration,
+)
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Gate
+
+
+@dataclass
+class PhysicalProgram:
+    """A hardware-level circuit with per-gate timing.
+
+    Attributes:
+        circuit: Circuit over hardware qubit indices; every ``cx`` acts
+            on a coupling edge.
+        times: Parallel list of (start, duration) per physical gate, in
+            timeslots, ASAP under calibrated durations.
+        swap_cnots: Number of CNOTs inserted purely for movement.
+    """
+
+    circuit: Circuit
+    times: List[Tuple[float, float]] = field(default_factory=list)
+    swap_cnots: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.circuit.gates):
+            raise CompilationError("times/gates length mismatch")
+
+    @property
+    def duration(self) -> float:
+        """Finish time of the last physical gate."""
+        return max((s + d for s, d in self.times), default=0.0)
+
+
+def insert_swaps(logical: Circuit, schedule: Schedule,
+                 placement: Dict[int, int],
+                 calibration: Calibration) -> PhysicalProgram:
+    """Lower *logical* (already scheduled) to a physical program.
+
+    Gates are emitted in schedule order, which respects dependencies;
+    concurrency across disjoint regions survives in the ASAP timing.
+
+    Measurements are deferred to the end of the physical program (the
+    devices the paper targets only support terminal readout). This is
+    exact: routed CNOTs swap-restore every qubit they pass through, so a
+    measured qubit's state at end-of-circuit equals its state at the
+    logical measurement point.
+
+    Raises:
+        CompilationError: If the logical program operates on a qubit
+            after measuring it (deferral would change semantics).
+    """
+    _check_terminal_measurements(logical)
+    n_hw = calibration.topology.n_qubits
+    physical = Circuit(n_hw, max(logical.n_cbits, 1),
+                       name=f"{logical.name}@{calibration.topology.name}")
+    swap_cnots = 0
+    deferred_measures = []
+
+    for item in schedule.gates:
+        gate = logical.gates[item.index]
+        if gate.name == "barrier":
+            continue
+        if gate.is_measure:
+            deferred_measures.append(
+                (placement[gate.qubits[0]], gate.cbit))
+        elif gate.is_two_qubit:
+            if item.route is None:
+                raise CompilationError("scheduled CNOT lacks a route")
+            swap_cnots += _emit_routed_cnot(physical, item.route.path,
+                                            gate.name)
+        else:
+            hw = placement[gate.qubits[0]]
+            physical.add(gate.name, hw, param=gate.param)
+
+    for hw, cbit in deferred_measures:
+        physical.measure(hw, cbit=cbit)
+
+    times = _asap_times(physical, calibration)
+    return PhysicalProgram(circuit=physical, times=times,
+                           swap_cnots=swap_cnots)
+
+
+def _check_terminal_measurements(logical: Circuit) -> None:
+    measured = set()
+    for gate in logical.gates:
+        if gate.name == "barrier":
+            continue
+        for q in gate.qubits:
+            if q in measured:
+                raise CompilationError(
+                    f"qubit {q} is used after its measurement; only "
+                    f"terminal measurements are supported")
+        if gate.is_measure:
+            measured.add(gate.qubits[0])
+
+
+def _emit_routed_cnot(physical: Circuit, path: Tuple[int, ...],
+                      gate_name: str) -> int:
+    """Emit swaps + the 2q gate + return swaps; returns movement count."""
+    swap_edges = list(zip(path[:-2], path[1:-1]))
+    inserted = 0
+
+    def emit_swap(a: int, b: int) -> None:
+        nonlocal inserted
+        physical.cx(a, b)
+        physical.cx(b, a)
+        physical.cx(a, b)
+        inserted += 3
+
+    for a, b in swap_edges:
+        emit_swap(a, b)
+    if gate_name == "cx":
+        physical.cx(path[-2], path[-1])
+    else:
+        physical.add(gate_name, path[-2], path[-1])
+    for a, b in reversed(swap_edges):
+        emit_swap(a, b)
+    return inserted
+
+
+def _asap_times(physical: Circuit,
+                calibration: Calibration) -> List[Tuple[float, float]]:
+    """As-soon-as-possible start times under calibrated durations."""
+    free_at: Dict[int, float] = {}
+    times: List[Tuple[float, float]] = []
+    for gate in physical.gates:
+        duration = _physical_duration(gate, calibration)
+        start = max((free_at.get(q, 0.0) for q in gate.qubits), default=0.0)
+        for q in gate.qubits:
+            free_at[q] = start + duration
+        times.append((start, duration))
+    return times
+
+
+def apply_peephole(program: PhysicalProgram,
+                   calibration: Calibration) -> PhysicalProgram:
+    """Cancel adjacent inverse pairs in a physical program.
+
+    Typical wins come from a routed CNOT's swap-back cancelling against
+    the next CNOT's identical swap-forward. Timing is re-derived with
+    the same ASAP pass; the movement-CNOT count is reduced by the number
+    of cancelled CNOTs (cancellations only ever remove movement or
+    redundant logic, never the routed CNOT semantics).
+    """
+    from repro.compiler.peephole import cancel_adjacent_inverses
+
+    optimized = cancel_adjacent_inverses(program.circuit)
+    removed_cx = (program.circuit.cnot_count() - optimized.cnot_count())
+    times = _asap_times(optimized, calibration)
+    return PhysicalProgram(
+        circuit=optimized,
+        times=times,
+        swap_cnots=max(0, program.swap_cnots - removed_cx),
+    )
+
+
+def _physical_duration(gate: Gate, calibration: Calibration) -> float:
+    if gate.is_measure:
+        return float(READOUT_SLOTS)
+    if gate.is_two_qubit:
+        duration = calibration.cnot_duration(*gate.qubits)
+        if gate.name == "swap":
+            return 3.0 * duration
+        return duration
+    return float(SINGLE_QUBIT_SLOTS)

@@ -1,0 +1,194 @@
+"""Compiled-program verification.
+
+Independent checks a downstream user can run on any
+:class:`~repro.compiler.compile.CompiledProgram` before trusting it:
+
+* **structural** — every two-qubit gate sits on a coupling edge, the
+  placement is injective, measurements are terminal, timing is
+  serialized per qubit;
+* **semantic** — the physical program computes the same measured-outcome
+  distribution as the logical program under the placement (exact
+  statevector comparison, feasible for the NISQ-scale programs this
+  library targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.compiler.compile import CompiledProgram
+from repro.exceptions import CompilationError
+from repro.hardware.calibration import Calibration
+from repro.ir.circuit import Circuit
+from repro.simulator.statevector import StateVector
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one compiled program.
+
+    Attributes:
+        ok: True when every check passed.
+        errors: Human-readable failure descriptions.
+        checks_run: Names of the checks performed.
+    """
+
+    ok: bool
+    errors: List[str] = field(default_factory=list)
+    checks_run: List[str] = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise CompilationError("verification failed: "
+                                   + "; ".join(self.errors))
+
+
+def verify_compiled(program: CompiledProgram, calibration: Calibration,
+                    semantic: bool = True,
+                    max_semantic_qubits: int = 14) -> VerificationReport:
+    """Run all verification checks on *program*.
+
+    Args:
+        semantic: Include the statevector equivalence check.
+        max_semantic_qubits: Skip the semantic check when the physical
+            program touches more qubits than this (cost is 2^n).
+    """
+    errors: List[str] = []
+    checks: List[str] = []
+
+    checks.append("structural:coupling")
+    errors.extend(_check_coupling(program, calibration))
+    checks.append("structural:placement")
+    errors.extend(_check_placement(program, calibration))
+    checks.append("structural:terminal-measurement")
+    errors.extend(_check_terminal_measurements(program.physical.circuit))
+    checks.append("structural:timing")
+    errors.extend(_check_timing(program))
+
+    if semantic:
+        used = len(program.physical.circuit.used_qubits())
+        if used <= max_semantic_qubits:
+            checks.append("semantic:distribution")
+            errors.extend(_check_semantics(program))
+        else:
+            checks.append("semantic:skipped(too-large)")
+
+    return VerificationReport(ok=not errors, errors=errors,
+                              checks_run=checks)
+
+
+# ----------------------------------------------------------------------
+# Structural checks
+# ----------------------------------------------------------------------
+def _check_coupling(program: CompiledProgram,
+                    calibration: Calibration) -> List[str]:
+    errors = []
+    topo = calibration.topology
+    for i, gate in enumerate(program.physical.circuit.gates):
+        if gate.is_two_qubit and not topo.is_adjacent(*gate.qubits):
+            errors.append(f"physical gate {i} ({gate}) is not on a "
+                          f"coupling edge")
+    return errors
+
+
+def _check_placement(program: CompiledProgram,
+                     calibration: Calibration) -> List[str]:
+    errors = []
+    n_hw = calibration.topology.n_qubits
+    values = list(program.placement.values())
+    if len(set(values)) != len(values):
+        errors.append("placement is not injective")
+    if any(not 0 <= h < n_hw for h in values):
+        errors.append("placement references qubits outside the machine")
+    if set(program.placement) != set(range(program.logical.n_qubits)):
+        errors.append("placement does not cover all program qubits")
+    return errors
+
+
+def _check_terminal_measurements(physical: Circuit) -> List[str]:
+    errors = []
+    measured = set()
+    for i, gate in enumerate(physical.gates):
+        for q in gate.qubits:
+            if q in measured:
+                errors.append(f"physical gate {i} ({gate}) follows the "
+                              f"measurement of qubit {q}")
+        if gate.is_measure:
+            measured.add(gate.qubits[0])
+    return errors
+
+
+def _check_timing(program: CompiledProgram) -> List[str]:
+    errors = []
+    windows: Dict[int, List] = {}
+    for gate, (start, duration) in zip(program.physical.circuit.gates,
+                                       program.physical.times):
+        if duration <= 0:
+            errors.append(f"non-positive duration for {gate}")
+        for q in gate.qubits:
+            windows.setdefault(q, []).append((start, start + duration))
+    for q, spans in windows.items():
+        spans.sort()
+        for (s1, f1), (s2, f2) in zip(spans, spans[1:]):
+            if s2 < f1 - 1e-6:
+                errors.append(f"overlapping windows on hardware qubit {q}")
+                break
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Semantic check
+# ----------------------------------------------------------------------
+def _outcome_distribution(circuit: Circuit,
+                          qubit_map: Dict[int, int],
+                          n_sim: int) -> Dict[str, float]:
+    """Measured-outcome distribution of a circuit, noiselessly.
+
+    Args:
+        qubit_map: circuit qubit -> dense simulation index.
+        n_sim: number of simulated qubits.
+    """
+    state = StateVector(n_sim)
+    measures = {}
+    for gate in circuit.gates:
+        if gate.is_measure:
+            measures[qubit_map[gate.qubits[0]]] = gate.cbit
+        elif gate.name != "barrier":
+            state.apply_gate(gate.name,
+                             tuple(qubit_map[q] for q in gate.qubits),
+                             param=gate.param)
+    probs = state.probabilities()
+    out: Dict[str, float] = {}
+    for index, p in enumerate(probs):
+        if p < 1e-12:
+            continue
+        chars = ["0"] * circuit.n_cbits
+        for q, cbit in measures.items():
+            chars[cbit] = str((index >> (n_sim - 1 - q)) & 1)
+        key = "".join(chars)
+        out[key] = out.get(key, 0.0) + float(p)
+    return out
+
+
+def _check_semantics(program: CompiledProgram) -> List[str]:
+    logical = program.logical
+    physical = program.physical.circuit
+
+    logical_dist = _outcome_distribution(
+        logical, {q: q for q in range(logical.n_qubits)},
+        logical.n_qubits)
+
+    used = physical.used_qubits()
+    dense = {h: i for i, h in enumerate(used)}
+    physical_dist = _outcome_distribution(physical, dense, len(used))
+
+    support = set(logical_dist) | set(physical_dist)
+    worst = max((abs(logical_dist.get(o, 0.0) - physical_dist.get(o, 0.0))
+                 for o in support), default=0.0)
+    if worst > 1e-6:
+        return [f"physical/logical outcome distributions differ "
+                f"(max deviation {worst:.2e})"]
+    return []

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CircuitError(ReproError):
+    """Invalid circuit construction or manipulation."""
+
+
+class QasmError(ReproError):
+    """Malformed OpenQASM input or unsupported construct."""
+
+
+class ScaffIRError(ReproError):
+    """Malformed ScaffIR program text."""
+
+
+class TopologyError(ReproError):
+    """Invalid hardware topology or qubit reference."""
+
+
+class CalibrationError(ReproError):
+    """Missing or inconsistent calibration data."""
+
+
+class SolverError(ReproError):
+    """Constraint-model construction or solving failure."""
+
+
+class InfeasibleError(SolverError):
+    """The constraint model admits no solution."""
+
+
+class CompilationError(ReproError):
+    """The compiler could not produce a valid executable."""
+
+
+class MappingError(CompilationError):
+    """No legal qubit mapping exists (e.g. program larger than machine)."""
+
+
+class SchedulingError(CompilationError):
+    """Gate scheduling failed (e.g. coherence deadline violated)."""
+
+
+class SimulationError(ReproError):
+    """Noisy-executor failure."""

@@ -1,0 +1,94 @@
+"""Shared utilities for the per-figure experiment harnesses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.compiler import CompiledProgram, CompilerOptions, compile_circuit
+from repro.hardware import Calibration, ReliabilityTables
+from repro.ir.circuit import Circuit
+from repro.simulator import ExecutionResult, execute
+
+#: Default shot count for experiment runs. The paper uses 8192 on
+#: hardware; 1024 simulated trials gives ~1.5% standard error, plenty to
+#: resolve the multi-x effects under study, at an eighth of the cost.
+DEFAULT_TRIALS = 1024
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    logs = [math.log(v) for v in values if v > 0]
+    if not logs:
+        return 0.0
+    return math.exp(sum(logs) / len(logs))
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + \
+        [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+@dataclass
+class BenchmarkRun:
+    """One (benchmark, compiler variant) measurement."""
+
+    benchmark: str
+    variant: str
+    compiled: CompiledProgram
+    execution: Optional[ExecutionResult] = None
+
+    @property
+    def success_rate(self) -> float:
+        assert self.execution is not None
+        return self.execution.success_rate
+
+    @property
+    def duration(self) -> float:
+        return self.compiled.duration
+
+    @property
+    def compile_time(self) -> float:
+        return self.compiled.compile_time
+
+
+def compile_and_run(circuit: Circuit, expected: str,
+                    calibration: Calibration, options: CompilerOptions,
+                    tables: Optional[ReliabilityTables] = None,
+                    trials: int = DEFAULT_TRIALS, seed: int = 7,
+                    simulate: bool = True) -> BenchmarkRun:
+    """Compile a benchmark and (optionally) execute it on the simulator."""
+    compiled = compile_circuit(circuit, calibration, options, tables=tables)
+    execution = None
+    if simulate:
+        execution = execute(compiled, calibration, trials=trials, seed=seed,
+                            expected=expected)
+    return BenchmarkRun(benchmark=circuit.name, variant=options.variant,
+                        compiled=compiled, execution=execution)
+
+
+def variant_label(options: CompilerOptions) -> str:
+    """Figure-style label, e.g. ``r-smt*(w=0.5,1bp)``."""
+    bits = [options.variant]
+    extra = []
+    if options.variant == "r-smt*":
+        extra.append(f"w={options.omega:g}")
+    extra.append(options.routing)
+    return f"{bits[0]}({','.join(extra)})"

@@ -1,0 +1,73 @@
+"""Figure 10 — noise-aware heuristics vs the optimal mapper.
+
+Compares GreedyE* and GreedyV* against R-SMT*(w=0.5) on all 12
+benchmarks. Expected shape: GreedyE* tracks R-SMT* closely (sometimes
+beating it marginally, since w=0.5 is not always the ideal weight), and
+the edge-based heuristic does at least as well as the vertex-based one
+in aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler import CompilerOptions
+from repro.experiments.common import (
+    DEFAULT_TRIALS,
+    BenchmarkRun,
+    compile_and_run,
+    format_table,
+    geometric_mean,
+)
+from repro.hardware import Calibration, ReliabilityTables, default_ibmq16_calibration
+from repro.programs import all_benchmarks
+
+
+@dataclass
+class Fig10Result:
+    """Success rates per benchmark for R-SMT* and the two heuristics."""
+
+    runs: Dict[str, Dict[str, BenchmarkRun]]
+    variants: List[str]
+
+    def success(self, benchmark: str, variant: str) -> float:
+        return self.runs[benchmark][variant].success_rate
+
+    def geomean_ratio(self, variant: str,
+                      reference: str = "r-smt*") -> float:
+        ratios = []
+        for by in self.runs.values():
+            ref = by[reference].success_rate
+            if ref > 0:
+                ratios.append(by[variant].success_rate / ref)
+        return geometric_mean(ratios)
+
+    def to_text(self) -> str:
+        body = [[b] + [self.success(b, v) for v in self.variants]
+                for b in self.runs]
+        table = format_table(["benchmark"] + self.variants, body)
+        ge = self.geomean_ratio("greedye*")
+        gv = self.geomean_ratio("greedyv*")
+        return (table + f"\n\ngeomean vs R-SMT*: GreedyE* {ge:.2f}x, "
+                        f"GreedyV* {gv:.2f}x (paper: E* comparable, "
+                        f"E* >= V*)")
+
+
+def run_fig10(calibration: Optional[Calibration] = None,
+              trials: int = DEFAULT_TRIALS, seed: int = 7,
+              subset: Optional[List[str]] = None) -> Fig10Result:
+    """Reproduce Figure 10's heuristic comparison."""
+    cal = calibration or default_ibmq16_calibration()
+    tables = ReliabilityTables(cal)
+    configs = [CompilerOptions.r_smt_star(omega=0.5),
+               CompilerOptions.greedy_e(),
+               CompilerOptions.greedy_v()]
+    runs: Dict[str, Dict[str, BenchmarkRun]] = {}
+    for name, circuit, expected in all_benchmarks(subset):
+        runs[name] = {}
+        for options in configs:
+            runs[name][options.variant] = compile_and_run(
+                circuit, expected, cal, options, tables=tables,
+                trials=trials, seed=seed)
+    return Fig10Result(runs=runs, variants=[c.variant for c in configs])

@@ -1,0 +1,71 @@
+"""Figure 6 — a week of daily executions: R-SMT* vs T-SMT* resilience.
+
+The paper recompiles BV4, HS6 and Toffoli each day for a week against
+that day's calibration and runs both variants. Expected shape: success
+rates wander day to day (error rates drift), and R-SMT* stays at or
+above T-SMT* (almost) every day because it re-adapts its placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import CompilerOptions
+from repro.experiments.common import (
+    DEFAULT_TRIALS,
+    compile_and_run,
+    format_table,
+)
+from repro.hardware import CalibrationGenerator, ReliabilityTables, ibmq16_topology
+from repro.programs import get_benchmark
+
+DEFAULT_BENCHMARKS = ("BV4", "HS6", "Toffoli")
+
+
+@dataclass
+class Fig6Result:
+    """success[benchmark][variant] = per-day success-rate series."""
+
+    days: int
+    success: Dict[str, Dict[str, List[float]]]
+
+    def days_r_beats_t(self, benchmark: str) -> int:
+        r = self.success[benchmark]["r-smt*"]
+        t = self.success[benchmark]["t-smt*"]
+        return sum(1 for a, b in zip(r, t) if a >= b)
+
+    def to_text(self) -> str:
+        headers = ["series"] + [f"day{d}" for d in range(self.days)]
+        body = []
+        for bench, by_variant in self.success.items():
+            for variant, series in by_variant.items():
+                body.append([f"{bench} {variant}"] + list(series))
+        table = format_table(headers, body)
+        resilience = ", ".join(
+            f"{b}: {self.days_r_beats_t(b)}/{self.days}"
+            for b in self.success)
+        return table + f"\n\ndays R-SMT* >= T-SMT*: {resilience}"
+
+
+def run_fig6(days: int = 7, trials: int = DEFAULT_TRIALS, seed: int = 7,
+             generator_seed: int = 2019,
+             benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS) -> Fig6Result:
+    """Reproduce Figure 6's week-long study."""
+    generator = CalibrationGenerator(ibmq16_topology(), seed=generator_seed)
+    configs = [CompilerOptions.t_smt_star(routing="1bp"),
+               CompilerOptions.r_smt_star(omega=0.5)]
+    success: Dict[str, Dict[str, List[float]]] = {
+        b: {c.variant: [] for c in configs} for b in benchmarks}
+
+    for day in range(days):
+        cal = generator.snapshot(day)
+        tables = ReliabilityTables(cal)
+        for bench in benchmarks:
+            spec = get_benchmark(bench)
+            for options in configs:
+                run = compile_and_run(spec.build(), spec.expected_output,
+                                      cal, options, tables=tables,
+                                      trials=trials, seed=seed + day)
+                success[bench][options.variant].append(run.success_rate)
+    return Fig6Result(days=days, success=success)

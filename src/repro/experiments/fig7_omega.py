@@ -1,0 +1,77 @@
+"""Figure 7 — choice of optimization objective (the omega sweep).
+
+Compares T-SMT* against R-SMT* with omega in {0, 0.5, 1} on BV4, HS6
+and Toffoli, reporting success rate (7a), execution duration (7b) and
+compile time (7c). Expected shape: omega = 0.5 achieves the best (or
+near-best) success rate; R-SMT* durations sit close to T-SMT*'s
+optimal durations; every configuration compiles in well under a minute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import CompilerOptions
+from repro.experiments.common import (
+    DEFAULT_TRIALS,
+    BenchmarkRun,
+    compile_and_run,
+    format_table,
+)
+from repro.hardware import Calibration, ReliabilityTables, default_ibmq16_calibration
+from repro.programs import get_benchmark
+
+DEFAULT_BENCHMARKS = ("BV4", "HS6", "Toffoli")
+DEFAULT_OMEGAS = (1.0, 0.0, 0.5)
+
+
+@dataclass
+class Fig7Result:
+    """runs[benchmark][label] with labels t-smt* and r-smt*(w=...)."""
+
+    runs: Dict[str, Dict[str, BenchmarkRun]]
+    labels: List[str]
+
+    def success(self, benchmark: str, label: str) -> float:
+        return self.runs[benchmark][label].success_rate
+
+    def duration(self, benchmark: str, label: str) -> float:
+        return self.runs[benchmark][label].duration
+
+    def compile_time(self, benchmark: str, label: str) -> float:
+        return self.runs[benchmark][label].compile_time
+
+    def to_text(self) -> str:
+        sections = []
+        for metric, fn in (("success rate", self.success),
+                           ("duration (timeslots)", self.duration),
+                           ("compile time (s)", self.compile_time)):
+            body = [[b] + [fn(b, label) for label in self.labels]
+                    for b in self.runs]
+            sections.append(f"{metric}:\n"
+                            + format_table(["benchmark"] + self.labels, body))
+        return "\n\n".join(sections)
+
+
+def run_fig7(calibration: Optional[Calibration] = None,
+             trials: int = DEFAULT_TRIALS, seed: int = 7,
+             benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS,
+             omegas: Tuple[float, ...] = DEFAULT_OMEGAS) -> Fig7Result:
+    """Reproduce Figure 7's objective-function study."""
+    cal = calibration or default_ibmq16_calibration()
+    tables = ReliabilityTables(cal)
+    configs: List[Tuple[str, CompilerOptions]] = \
+        [("t-smt*", CompilerOptions.t_smt_star(routing="1bp"))]
+    for omega in omegas:
+        configs.append((f"r-smt*(w={omega:g})",
+                        CompilerOptions.r_smt_star(omega=omega)))
+    runs: Dict[str, Dict[str, BenchmarkRun]] = {}
+    for bench in benchmarks:
+        spec = get_benchmark(bench)
+        runs[bench] = {}
+        for label, options in configs:
+            runs[bench][label] = compile_and_run(
+                spec.build(), spec.expected_output, cal, options,
+                tables=tables, trials=trials, seed=seed)
+    return Fig7Result(runs=runs, labels=[label for label, _ in configs])

@@ -1,0 +1,75 @@
+"""Figure 8 — the BV4 mappings chosen by each objective.
+
+Renders, as ASCII art over the 2x8 grid, where Qiskit, T-SMT*,
+R-SMT*(w=1) and R-SMT*(w=0.5) place BV4's program qubits on one
+calibration snapshot, with each variant's SWAP count and estimated
+reliability. Expected shape (matching the paper's narrative): Qiskit
+needs SWAPs and ignores error rates; T-SMT* avoids SWAPs but may use an
+unreliable CNOT; w=1 chases readouts at the cost of movement; w=0.5
+avoids SWAPs *and* bad hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler import CompiledProgram, CompilerOptions, compile_circuit
+from repro.hardware import Calibration, ReliabilityTables, default_ibmq16_calibration
+from repro.programs import get_benchmark
+
+
+@dataclass
+class Fig8Result:
+    """Compiled BV4 under the four Figure-8 configurations."""
+
+    compiled: Dict[str, CompiledProgram]
+    calibration: Calibration
+
+    def placement(self, label: str) -> Dict[int, int]:
+        return self.compiled[label].placement
+
+    def grid_art(self, label: str) -> str:
+        """ASCII rendering of one mapping on the grid."""
+        topo = self.calibration.topology
+        inverse = {h: q for q, h in self.compiled[label].placement.items()}
+        logical_qubits = set(range(self.compiled[label].logical.n_qubits))
+        rows = []
+        for y in range(topo.my):
+            cells = []
+            for x in range(topo.mx):
+                h = topo.qubit_at(x, y)
+                q = inverse.get(h)
+                if q is not None and q in logical_qubits:
+                    cells.append(f"[p{q}]")
+                else:
+                    cells.append(f"  . ")
+            rows.append(" ".join(cells))
+        return "\n".join(rows)
+
+    def to_text(self) -> str:
+        sections = []
+        for label, program in self.compiled.items():
+            sections.append(
+                f"{label}: swaps={program.swap_count} "
+                f"est.reliability={program.estimated_success:.3f} "
+                f"duration={program.duration:.0f}\n{self.grid_art(label)}")
+        return "\n\n".join(sections)
+
+
+def run_fig8(calibration: Optional[Calibration] = None,
+             benchmark: str = "BV4") -> Fig8Result:
+    """Reproduce Figure 8's mapping comparison."""
+    cal = calibration or default_ibmq16_calibration()
+    tables = ReliabilityTables(cal)
+    spec = get_benchmark(benchmark)
+    configs: List[Tuple[str, CompilerOptions]] = [
+        ("qiskit", CompilerOptions.qiskit()),
+        ("t-smt*", CompilerOptions.t_smt_star(routing="1bp")),
+        ("r-smt*(w=1)", CompilerOptions.r_smt_star(omega=1.0)),
+        ("r-smt*(w=0.5)", CompilerOptions.r_smt_star(omega=0.5)),
+    ]
+    compiled = {label: compile_circuit(spec.build(), cal, options,
+                                       tables=tables)
+                for label, options in configs}
+    return Fig8Result(compiled=compiled, calibration=cal)

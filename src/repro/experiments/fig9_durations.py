@@ -1,0 +1,72 @@
+"""Figure 9 — effect of gate durations, routing policy and objective on
+execution duration.
+
+Compares T-SMT(RR) (uniform gate times), T-SMT*(RR), T-SMT*(1BP) and
+R-SMT*(1BP) across all 12 benchmarks. Expected shape: the
+calibrated-duration variants beat the uniform-duration T-SMT (paper: up
+to 1.68x, ~1.6x typical); RR vs 1BP barely matters at these sizes; and
+R-SMT*, though it optimizes reliability, lands within a whisker of
+T-SMT*'s duration-optimal schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler import CompilerOptions
+from repro.experiments.common import (
+    BenchmarkRun,
+    compile_and_run,
+    format_table,
+    geometric_mean,
+)
+from repro.hardware import Calibration, ReliabilityTables, default_ibmq16_calibration
+from repro.programs import all_benchmarks
+
+
+@dataclass
+class Fig9Result:
+    """Durations per benchmark per configuration label."""
+
+    runs: Dict[str, Dict[str, BenchmarkRun]]
+    labels: List[str]
+
+    def duration(self, benchmark: str, label: str) -> float:
+        return self.runs[benchmark][label].duration
+
+    def geomean_gain_over_uniform(self, label: str = "t-smt*(rr)") -> float:
+        """T-SMT(RR) duration / calibrated-variant duration, geomean."""
+        ratios = [by["t-smt(rr)"].duration / by[label].duration
+                  for by in self.runs.values() if by[label].duration > 0]
+        return geometric_mean(ratios)
+
+    def to_text(self) -> str:
+        body = [[b] + [f"{self.duration(b, label):.0f}"
+                       for label in self.labels]
+                for b in self.runs]
+        table = format_table(["benchmark"] + self.labels, body)
+        gain = self.geomean_gain_over_uniform()
+        return (table + f"\n\ncalibrated durations vs uniform: geomean "
+                        f"{gain:.2f}x shorter (paper: ~1.6x)")
+
+
+def run_fig9(calibration: Optional[Calibration] = None,
+             subset: Optional[List[str]] = None) -> Fig9Result:
+    """Reproduce Figure 9 (compile-only; no simulation needed)."""
+    cal = calibration or default_ibmq16_calibration()
+    tables = ReliabilityTables(cal)
+    configs = [
+        ("t-smt(rr)", CompilerOptions.t_smt(routing="rr")),
+        ("t-smt*(rr)", CompilerOptions.t_smt_star(routing="rr")),
+        ("t-smt*(1bp)", CompilerOptions.t_smt_star(routing="1bp")),
+        ("r-smt*(1bp)", CompilerOptions.r_smt_star(omega=0.5)),
+    ]
+    runs: Dict[str, Dict[str, BenchmarkRun]] = {}
+    for name, circuit, expected in all_benchmarks(subset):
+        runs[name] = {}
+        for label, options in configs:
+            runs[name][label] = compile_and_run(
+                circuit, expected, cal, options, tables=tables,
+                simulate=False)
+    return Fig9Result(runs=runs, labels=[label for label, _ in configs])

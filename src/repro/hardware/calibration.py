@@ -1,0 +1,258 @@
+"""Machine calibration snapshots.
+
+Mirrors the daily data IBM publishes for its devices (paper §2): per-qubit
+relaxation/coherence times (T1/T2), readout error and single-qubit gate
+error, and per-coupling CNOT error rate and gate duration. Durations are
+expressed in IBMQ16 timeslots of 80 ns, the unit the paper reports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.exceptions import CalibrationError
+from repro.hardware.topology import Edge, GridTopology, edge_key
+
+#: One scheduling timeslot, in nanoseconds (paper §6).
+TIMESLOT_NS = 80.0
+
+#: Duration of a single-qubit gate, in timeslots.
+SINGLE_QUBIT_SLOTS = 1
+
+#: Duration of a readout operation, in timeslots.
+READOUT_SLOTS = 4
+
+
+@dataclass(frozen=True)
+class QubitCalibration:
+    """Calibration record for one hardware qubit.
+
+    Attributes:
+        t1_us: Relaxation time in microseconds.
+        t2_us: Coherence time in microseconds.
+        readout_error: Symmetric readout error probability (the figure
+            IBM publishes; also the value the compiler optimizes).
+        single_qubit_error: Error probability of one 1-qubit gate.
+        readout_asymmetry: Optional skew in (-1, 1): real devices
+            misread |1> as 0 more often than the reverse. The executor
+            uses ``p(flip|1) = readout_error * (1 + a)`` and
+            ``p(flip|0) = readout_error * (1 - a)``, preserving the
+            published symmetric average.
+    """
+
+    t1_us: float
+    t2_us: float
+    readout_error: float
+    single_qubit_error: float
+    readout_asymmetry: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.t1_us <= 0 or self.t2_us <= 0:
+            raise CalibrationError("T1/T2 must be positive")
+        for p in (self.readout_error, self.single_qubit_error):
+            if not 0.0 <= p < 1.0:
+                raise CalibrationError(f"error rate {p} outside [0, 1)")
+        if not -1.0 < self.readout_asymmetry < 1.0:
+            raise CalibrationError("readout asymmetry outside (-1, 1)")
+        if self.readout_error * (1.0 + abs(self.readout_asymmetry)) >= 1.0:
+            raise CalibrationError("asymmetric readout error exceeds 1")
+
+    @property
+    def coherence_slots(self) -> float:
+        """T2 expressed in scheduling timeslots."""
+        return self.t2_us * 1000.0 / TIMESLOT_NS
+
+    def readout_flip_probability(self, bit: int) -> float:
+        """Probability of misreporting a qubit measured in state *bit*."""
+        skew = self.readout_asymmetry if bit else -self.readout_asymmetry
+        return self.readout_error * (1.0 + skew)
+
+
+@dataclass(frozen=True)
+class EdgeCalibration:
+    """Calibration record for one coupling (CNOT-capable) edge.
+
+    Attributes:
+        cnot_error: Error probability of one CNOT on this edge.
+        cnot_duration_slots: CNOT duration in timeslots.
+    """
+
+    cnot_error: float
+    cnot_duration_slots: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cnot_error < 1.0:
+            raise CalibrationError(f"CNOT error {self.cnot_error} invalid")
+        if self.cnot_duration_slots <= 0:
+            raise CalibrationError("CNOT duration must be positive")
+
+
+@dataclass
+class Calibration:
+    """One calibration cycle of a machine: the data the compiler adapts to.
+
+    Attributes:
+        topology: The machine this calibration describes.
+        qubits: Per-qubit records, indexed by hardware qubit id.
+        edges: Per-edge records keyed by canonical (min, max) edge.
+        label: Free-form tag, e.g. the calibration date.
+    """
+
+    topology: GridTopology
+    qubits: Dict[int, QubitCalibration]
+    edges: Dict[Edge, EdgeCalibration]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        expected_qubits = set(range(self.topology.n_qubits))
+        if set(self.qubits) != expected_qubits:
+            raise CalibrationError("qubit records do not cover the machine")
+        expected_edges = self.topology.edge_set()
+        if set(self.edges) != expected_edges:
+            raise CalibrationError("edge records do not cover the coupling map")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def qubit(self, q: int) -> QubitCalibration:
+        try:
+            return self.qubits[q]
+        except KeyError:
+            raise CalibrationError(f"no record for qubit {q}") from None
+
+    def edge(self, a: int, b: int) -> EdgeCalibration:
+        try:
+            return self.edges[edge_key(a, b)]
+        except KeyError:
+            raise CalibrationError(f"no coupling between {a} and {b}") from None
+
+    def cnot_error(self, a: int, b: int) -> float:
+        return self.edge(a, b).cnot_error
+
+    def cnot_reliability(self, a: int, b: int) -> float:
+        return 1.0 - self.edge(a, b).cnot_error
+
+    def cnot_duration(self, a: int, b: int) -> float:
+        return self.edge(a, b).cnot_duration_slots
+
+    def readout_error(self, q: int) -> float:
+        return self.qubit(q).readout_error
+
+    def readout_reliability(self, q: int) -> float:
+        return 1.0 - self.qubit(q).readout_error
+
+    def coherence_slots(self, q: int) -> float:
+        return self.qubit(q).coherence_slots
+
+    def swap_duration(self, a: int, b: int) -> float:
+        """Duration of one SWAP (three CNOTs) on an edge."""
+        return 3.0 * self.cnot_duration(a, b)
+
+    def swap_reliability(self, a: int, b: int) -> float:
+        """Reliability of one SWAP (three CNOTs) on an edge."""
+        return self.cnot_reliability(a, b) ** 3
+
+    # ------------------------------------------------------------------
+    # Summary statistics (used by reports and the noise-unaware variants)
+    # ------------------------------------------------------------------
+    def mean_cnot_error(self) -> float:
+        values = [e.cnot_error for e in self.edges.values()]
+        return sum(values) / len(values)
+
+    def mean_cnot_duration(self) -> float:
+        values = [e.cnot_duration_slots for e in self.edges.values()]
+        return sum(values) / len(values)
+
+    def mean_readout_error(self) -> float:
+        values = [q.readout_error for q in self.qubits.values()]
+        return sum(values) / len(values)
+
+    def worst_coherence_slots(self) -> float:
+        return min(q.coherence_slots for q in self.qubits.values())
+
+    def variation(self, attribute: str) -> float:
+        """Max/min spread of a per-qubit or per-edge attribute."""
+        if attribute in ("t1_us", "t2_us", "readout_error",
+                         "single_qubit_error"):
+            values = [getattr(q, attribute) for q in self.qubits.values()]
+        elif attribute in ("cnot_error", "cnot_duration_slots"):
+            values = [getattr(e, attribute) for e in self.edges.values()]
+        else:
+            raise CalibrationError(f"unknown attribute {attribute!r}")
+        lo = min(values)
+        if lo <= 0:
+            return math.inf
+        return max(values) / lo
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "label": self.label,
+            "topology": {"mx": self.topology.mx, "my": self.topology.my,
+                         "name": self.topology.name},
+            "qubits": {
+                str(q): {"t1_us": c.t1_us, "t2_us": c.t2_us,
+                         "readout_error": c.readout_error,
+                         "single_qubit_error": c.single_qubit_error,
+                         "readout_asymmetry": c.readout_asymmetry}
+                for q, c in sorted(self.qubits.items())
+            },
+            "edges": {
+                f"{a}-{b}": {"cnot_error": e.cnot_error,
+                             "cnot_duration_slots": e.cnot_duration_slots}
+                for (a, b), e in sorted(self.edges.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Calibration":
+        topo = GridTopology(mx=data["topology"]["mx"],
+                            my=data["topology"]["my"],
+                            name=data["topology"].get("name", "grid"))
+        qubits = {int(q): QubitCalibration(**rec)
+                  for q, rec in data["qubits"].items()}
+        edges: Dict[Edge, EdgeCalibration] = {}
+        for key, rec in data["edges"].items():
+            a, b = key.split("-")
+            edges[edge_key(int(a), int(b))] = EdgeCalibration(**rec)
+        return cls(topology=topo, qubits=qubits, edges=edges,
+                   label=data.get("label", ""))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Calibration":
+        return cls.from_dict(json.loads(text))
+
+
+def uniform_calibration(topology: GridTopology,
+                        t1_us: float = 90.0,
+                        t2_us: float = 70.0,
+                        readout_error: float = 0.07,
+                        single_qubit_error: float = 0.002,
+                        cnot_error: float = 0.04,
+                        cnot_duration_slots: float = 3.0,
+                        label: str = "uniform") -> Calibration:
+    """A calibration with identical records everywhere.
+
+    This is the machine model the noise-unaware T-SMT variant assumes:
+    long-term machine averages with no spatial structure.
+    """
+    qubit = QubitCalibration(t1_us=t1_us, t2_us=t2_us,
+                             readout_error=readout_error,
+                             single_qubit_error=single_qubit_error)
+    edge = EdgeCalibration(cnot_error=cnot_error,
+                           cnot_duration_slots=cnot_duration_slots)
+    return Calibration(
+        topology=topology,
+        qubits={q: qubit for q in topology.iter_qubits()},
+        edges={e: edge for e in topology.edges()},
+        label=label,
+    )

@@ -1,0 +1,65 @@
+"""Preset device models.
+
+Grid approximations of the machines discussed in the paper and its
+related work, plus the linear (ion-trap-style) topology §9 mentions as
+an extension target. All are :class:`GridTopology` instances, so every
+compiler variant works on them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.exceptions import TopologyError
+from repro.hardware.calibration import Calibration
+from repro.hardware.calibration_gen import CalibrationGenerator, NoiseProfile
+from repro.hardware.topology import GridTopology, ibmq16_topology
+
+
+def ibmq5_topology() -> GridTopology:
+    """A 5-qubit IBM device approximated as a 1x5 line."""
+    return GridTopology(mx=5, my=1, name="IBMQ5")
+
+
+def ibmq20_topology() -> GridTopology:
+    """The 20-qubit IBM device (Tokyo-class) as a 5x4 grid."""
+    return GridTopology(mx=5, my=4, name="IBMQ20")
+
+
+def linear_topology(n_qubits: int, name: str = "") -> GridTopology:
+    """A 1-D chain — the nearest-neighbor ion-trap-style layout."""
+    if n_qubits < 1:
+        raise TopologyError("need at least one qubit")
+    return GridTopology(mx=n_qubits, my=1,
+                        name=name or f"linear{n_qubits}")
+
+
+#: Name -> topology factory, for CLI and experiment parameterization.
+DEVICE_REGISTRY = {
+    "ibmq16": ibmq16_topology,
+    "ibmq5": ibmq5_topology,
+    "ibmq20": ibmq20_topology,
+}
+
+
+def device_topology(name: str) -> GridTopology:
+    """Look up a preset device by name.
+
+    Raises:
+        TopologyError: For unknown device names.
+    """
+    try:
+        return DEVICE_REGISTRY[name.lower()]()
+    except KeyError:
+        raise TopologyError(
+            f"unknown device {name!r}; known: {sorted(DEVICE_REGISTRY)}"
+        ) from None
+
+
+def device_calibration(name: str, day: int = 0, seed: int = 2019,
+                       profile: NoiseProfile = NoiseProfile()
+                       ) -> Calibration:
+    """Synthetic calibration snapshot for a preset device."""
+    topo = device_topology(name)
+    return CalibrationGenerator(topo, seed=seed, profile=profile) \
+        .snapshot(day)

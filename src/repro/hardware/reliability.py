@@ -1,0 +1,195 @@
+"""Reliability and duration tables derived from calibration data.
+
+Implements the precomputations of §4.4 and §5 of the paper:
+
+* ``EC`` — for every hardware-qubit pair and one-bend junction, the
+  reliability of executing a routed CNOT (swap path + the CNOT itself);
+* ``Delta`` — the per-pair routed-CNOT duration matrix (Constraint 5);
+* most-reliable paths between all pairs via Dijkstra with edge weights
+  ``-log(swap reliability)`` — the "Best Path" policy of the heuristics.
+
+Routing model (paper §2, §4.2): a CNOT between qubits at grid distance d
+needs d-1 SWAPs to bring the states adjacent, each SWAP being 3 CNOTs;
+the state is swapped back afterwards, so the *duration* counts
+``2 (d-1) tau_swap + tau_cnot`` while the paper's *reliability* example
+(footnote 3) charges the one-way swaps plus the CNOT. Both conventions
+are implemented; the optimizer uses the paper's.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import TopologyError
+from repro.hardware.calibration import Calibration
+from repro.hardware.topology import GridTopology
+
+
+@dataclass(frozen=True)
+class RoutedCnot:
+    """Cost summary of performing a CNOT along a specific swap path.
+
+    Attributes:
+        path: Hardware qubits from control to target, inclusive.
+        reliability: One-way-swap reliability times CNOT reliability
+            (the paper's objective convention).
+        round_trip_reliability: Reliability including the return swaps
+            actually executed on hardware.
+        duration: ``2 (d-1) tau_swap + tau_cnot`` in timeslots.
+    """
+
+    path: Tuple[int, ...]
+    reliability: float
+    round_trip_reliability: float
+    duration: float
+
+    @property
+    def n_swaps(self) -> int:
+        """One-way SWAP count along the path."""
+        return max(0, len(self.path) - 2)
+
+
+def route_cost(calibration: Calibration, path: List[int]) -> RoutedCnot:
+    """Evaluate a routed CNOT along *path* (control first, target last).
+
+    The control state is swapped along ``path[0:-1]``; the CNOT executes
+    on the final edge; afterwards the state is swapped back.
+
+    Raises:
+        TopologyError: If the path is not a chain of coupled qubits.
+    """
+    if len(path) < 2:
+        raise TopologyError("path must contain at least control and target")
+    topo = calibration.topology
+    for a, b in zip(path, path[1:]):
+        if not topo.is_adjacent(a, b):
+            raise TopologyError(f"path step {a}->{b} is not a coupling edge")
+    swap_edges = list(zip(path[:-2], path[1:-1]))
+    swap_rel = 1.0
+    swap_dur = 0.0
+    for a, b in swap_edges:
+        swap_rel *= calibration.swap_reliability(a, b)
+        swap_dur += calibration.swap_duration(a, b)
+    cnot_rel = calibration.cnot_reliability(path[-2], path[-1])
+    cnot_dur = calibration.cnot_duration(path[-2], path[-1])
+    return RoutedCnot(
+        path=tuple(path),
+        reliability=swap_rel * cnot_rel,
+        round_trip_reliability=swap_rel * swap_rel * cnot_rel,
+        duration=2.0 * swap_dur + cnot_dur,
+    )
+
+
+class ReliabilityTables:
+    """All-pairs routing tables for one calibration snapshot.
+
+    Args:
+        calibration: The snapshot to precompute from.
+    """
+
+    def __init__(self, calibration: Calibration) -> None:
+        self.calibration = calibration
+        self.topology: GridTopology = calibration.topology
+        self._one_bend: Dict[Tuple[int, int, int], RoutedCnot] = {}
+        self._best_paths: Optional[Dict[int, Dict[int, RoutedCnot]]] = None
+
+    # ------------------------------------------------------------------
+    # One-bend (1BP) tables: the EC and Delta matrices of §4.4
+    # ------------------------------------------------------------------
+    def one_bend(self, control: int, target: int,
+                 junction: int) -> RoutedCnot:
+        """EC entry: routed-CNOT cost via the given junction (0 or 1)."""
+        key = (control, target, junction)
+        if key not in self._one_bend:
+            path = self.topology.one_bend_path(control, target, junction)
+            self._one_bend[key] = route_cost(self.calibration, path)
+        return self._one_bend[key]
+
+    def best_one_bend(self, control: int, target: int) -> RoutedCnot:
+        """Most reliable of the (at most) two one-bend routes."""
+        if control == target:
+            raise TopologyError("control and target coincide")
+        options = [self.one_bend(control, target, 0)]
+        j0, j1 = self.topology.one_bend_junctions(control, target)
+        if j0 != j1:
+            options.append(self.one_bend(control, target, 1))
+        return max(options, key=lambda r: r.reliability)
+
+    def delta(self, control: int, target: int) -> float:
+        """Delta matrix entry: minimum routed-CNOT duration (1BP)."""
+        if control == target:
+            raise TopologyError("control and target coincide")
+        options = [self.one_bend(control, target, 0)]
+        j0, j1 = self.topology.one_bend_junctions(control, target)
+        if j0 != j1:
+            options.append(self.one_bend(control, target, 1))
+        return min(r.duration for r in options)
+
+    def log_reliability(self, control: int, target: int) -> float:
+        """log of the best 1BP reliability — an objective term of Eq. 12."""
+        return math.log(max(self.best_one_bend(control, target).reliability,
+                            1e-12))
+
+    # ------------------------------------------------------------------
+    # Most-reliable paths (heuristics' "Best Path" policy, §5)
+    # ------------------------------------------------------------------
+    def best_path(self, control: int, target: int) -> RoutedCnot:
+        """Most reliable swap path between any pair (Dijkstra)."""
+        if self._best_paths is None:
+            self._best_paths = self._all_pairs_dijkstra()
+        return self._best_paths[control][target]
+
+    def _all_pairs_dijkstra(self) -> Dict[int, Dict[int, RoutedCnot]]:
+        out: Dict[int, Dict[int, RoutedCnot]] = {}
+        for source in self.topology.iter_qubits():
+            out[source] = self._dijkstra_from(source)
+        return out
+
+    def _dijkstra_from(self, source: int) -> Dict[int, RoutedCnot]:
+        """Max-reliability paths from *source* under the swap cost model.
+
+        Edge weight between adjacent u, v when extending a path whose
+        last hop becomes a swap: we search over paths using
+        ``-log(swap reliability)`` per interior edge, then rescore the
+        final hop as a plain CNOT (matching :func:`route_cost`).
+        """
+        topo = self.topology
+        dist = {source: 0.0}
+        prev: Dict[int, int] = {}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, math.inf):
+                continue
+            for v in topo.neighbors(u):
+                weight = -math.log(
+                    max(self.calibration.swap_reliability(u, v), 1e-12))
+                nd = d + weight
+                if nd < dist.get(v, math.inf):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(heap, (nd, v))
+        result: Dict[int, RoutedCnot] = {}
+        for target in topo.iter_qubits():
+            if target == source:
+                continue
+            path = [target]
+            while path[-1] != source:
+                path.append(prev[path[-1]])
+            path.reverse()
+            result[target] = route_cost(self.calibration, path)
+        return result
+
+    # ------------------------------------------------------------------
+    # Noise-unaware counterparts (used by T-SMT)
+    # ------------------------------------------------------------------
+    def uniform_duration(self, control: int, target: int,
+                         tau_cnot: float = 3.0) -> float:
+        """Duration with identical gate times: 2 (d-1) tau_swap + tau_cnot."""
+        d = self.topology.distance(control, target)
+        if d == 0:
+            raise TopologyError("control and target coincide")
+        return 2.0 * (d - 1) * 3.0 * tau_cnot + tau_cnot

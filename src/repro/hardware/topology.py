@@ -1,0 +1,163 @@
+"""Hardware qubit topologies.
+
+The paper assumes hardware qubits arranged as a 2-D grid of dimensions
+Mx x My, with two-qubit gates permitted only between grid-adjacent qubits
+(§4.1). IBMQ16 Rueschlikon is modeled as the 2 x 8 instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.exceptions import TopologyError
+
+Edge = Tuple[int, int]
+
+
+def edge_key(a: int, b: int) -> Edge:
+    """Canonical (min, max) form of an undirected edge."""
+    if a == b:
+        raise TopologyError(f"self-edge on qubit {a}")
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass(frozen=True)
+class GridTopology:
+    """An Mx x My grid of hardware qubits with nearest-neighbor coupling.
+
+    Qubit ids are row-major: ``id = y * Mx + x``. Coordinates are
+    ``(x, y)`` with ``0 <= x < Mx`` and ``0 <= y < My``.
+    """
+
+    mx: int
+    my: int
+    name: str = "grid"
+
+    def __post_init__(self) -> None:
+        if self.mx < 1 or self.my < 1:
+            raise TopologyError("grid dimensions must be positive")
+
+    @property
+    def n_qubits(self) -> int:
+        """Total number of hardware qubits."""
+        return self.mx * self.my
+
+    def qubit_at(self, x: int, y: int) -> int:
+        """Qubit id at coordinate (x, y)."""
+        if not (0 <= x < self.mx and 0 <= y < self.my):
+            raise TopologyError(f"coordinate ({x}, {y}) outside grid")
+        return y * self.mx + x
+
+    def coords(self, qubit: int) -> Tuple[int, int]:
+        """Coordinate (x, y) of a qubit id."""
+        self._check(qubit)
+        return qubit % self.mx, qubit // self.mx
+
+    def _check(self, qubit: int) -> None:
+        if not 0 <= qubit < self.n_qubits:
+            raise TopologyError(
+                f"qubit {qubit} outside machine of {self.n_qubits} qubits")
+
+    def distance(self, a: int, b: int) -> int:
+        """Manhattan (grid) distance between two qubits."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    def is_adjacent(self, a: int, b: int) -> bool:
+        """Whether a CNOT between *a* and *b* is directly supported."""
+        return self.distance(a, b) == 1
+
+    def neighbors(self, qubit: int) -> List[int]:
+        """Grid neighbors of a qubit, in increasing id order."""
+        x, y = self.coords(qubit)
+        out = []
+        for dx, dy in ((0, -1), (-1, 0), (1, 0), (0, 1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < self.mx and 0 <= ny < self.my:
+                out.append(self.qubit_at(nx, ny))
+        return sorted(out)
+
+    def edges(self) -> List[Edge]:
+        """All undirected coupling edges in canonical order."""
+        out: List[Edge] = []
+        for q in range(self.n_qubits):
+            for nb in self.neighbors(q):
+                if nb > q:
+                    out.append((q, nb))
+        return out
+
+    def edge_set(self) -> FrozenSet[Edge]:
+        """Edges as a frozen set for O(1) membership tests."""
+        return frozenset(self.edges())
+
+    def iter_qubits(self) -> Iterator[int]:
+        return iter(range(self.n_qubits))
+
+    # ------------------------------------------------------------------
+    # One-bend (L-shaped) paths, the paper's 1BP routing geometry
+    # ------------------------------------------------------------------
+    def one_bend_junctions(self, a: int, b: int) -> Tuple[int, int]:
+        """The two corner junctions of the bounding rectangle of (a, b).
+
+        Junction 0 is ``(bx, ay)`` (x-first travel from *a*), junction 1
+        is ``(ax, by)`` (y-first). For collinear qubits both coincide
+        with the straight-line path.
+        """
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return self.qubit_at(bx, ay), self.qubit_at(ax, by)
+
+    def one_bend_path(self, a: int, b: int, junction: int) -> List[int]:
+        """Qubit ids along the L-path a -> junction -> b (inclusive).
+
+        Args:
+            junction: 0 for the x-first corner, 1 for the y-first corner.
+        """
+        if junction not in (0, 1):
+            raise TopologyError("junction index must be 0 or 1")
+        corner = self.one_bend_junctions(a, b)[junction]
+        return self._straight(a, corner)[:-1] + self._straight(corner, b)
+
+    def _straight(self, a: int, b: int) -> List[int]:
+        """Axis-aligned path between two collinear-or-corner points."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        path = [a]
+        x, y = ax, ay
+        while x != bx:
+            x += 1 if bx > x else -1
+            path.append(self.qubit_at(x, y))
+        while y != by:
+            y += 1 if by > y else -1
+            path.append(self.qubit_at(x, y))
+        return path
+
+    def bounding_rectangle(self, a: int, b: int) -> List[int]:
+        """All qubits in the bounding rectangle of (a, b) — the region the
+        RR policy reserves for a routed CNOT."""
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        x0, x1 = min(ax, bx), max(ax, bx)
+        y0, y1 = min(ay, by), max(ay, by)
+        return [self.qubit_at(x, y)
+                for y in range(y0, y1 + 1) for x in range(x0, x1 + 1)]
+
+
+def ibmq16_topology() -> GridTopology:
+    """The 16-qubit IBMQ Rueschlikon machine as a 2 x 8 grid."""
+    return GridTopology(mx=8, my=2, name="IBMQ16")
+
+
+def square_topology(n_qubits: int) -> GridTopology:
+    """Smallest near-square grid holding *n_qubits* (for Fig.-11 sweeps)."""
+    if n_qubits < 1:
+        raise TopologyError("need at least one qubit")
+    mx = 1
+    while mx * mx < n_qubits:
+        mx += 1
+    my = mx
+    while mx * (my - 1) >= n_qubits:
+        my -= 1
+    return GridTopology(mx=mx, my=my, name=f"grid{mx}x{my}")

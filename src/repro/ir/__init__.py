@@ -1,0 +1,33 @@
+"""Quantum intermediate representation: gates, circuits, DAGs, formats."""
+
+from repro.ir.circuit import Circuit
+from repro.ir.dag import DependencyDAG
+from repro.ir.gates import (
+    ALL_OPERATIONS,
+    PARAMETRIC_GATES,
+    RANDOM_BENCHMARK_GATE_SET,
+    SINGLE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    Gate,
+    gate_matrix,
+    inverse_gate,
+)
+from repro.ir.qasm import circuit_to_qasm, qasm_to_circuit
+from repro.ir.scaffir import emit_scaffir, parse_scaffir
+
+__all__ = [
+    "ALL_OPERATIONS",
+    "Circuit",
+    "DependencyDAG",
+    "Gate",
+    "PARAMETRIC_GATES",
+    "RANDOM_BENCHMARK_GATE_SET",
+    "SINGLE_QUBIT_GATES",
+    "TWO_QUBIT_GATES",
+    "circuit_to_qasm",
+    "emit_scaffir",
+    "gate_matrix",
+    "inverse_gate",
+    "parse_scaffir",
+    "qasm_to_circuit",
+]

@@ -1,0 +1,267 @@
+"""The :class:`Circuit` container — the IR every compiler pass consumes.
+
+A circuit is an ordered list of :class:`~repro.ir.gates.Gate` objects over
+``n_qubits`` program qubits and ``n_cbits`` classical bits. Program order
+defines data dependencies (two operations sharing a qubit are ordered);
+the dependency DAG itself lives in :mod:`repro.ir.dag`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import CircuitError
+from repro.ir.gates import Gate, inverse_gate
+
+
+class Circuit:
+    """An ordered quantum program over a fixed register of qubits.
+
+    Args:
+        n_qubits: Number of program qubits.
+        n_cbits: Number of classical bits; defaults to ``n_qubits``.
+        name: Optional human-readable benchmark name.
+    """
+
+    def __init__(self, n_qubits: int, n_cbits: Optional[int] = None,
+                 name: str = "circuit") -> None:
+        if n_qubits <= 0:
+            raise CircuitError("circuit needs at least one qubit")
+        self.n_qubits = n_qubits
+        self.n_cbits = n_qubits if n_cbits is None else n_cbits
+        if self.n_cbits < 0:
+            raise CircuitError("negative classical register size")
+        self.name = name
+        self._gates: List[Gate] = []
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gates in program order (read-only view)."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, idx: int) -> Gate:
+        return self._gates[idx]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (self.n_qubits == other.n_qubits
+                and self.n_cbits == other.n_cbits
+                and self._gates == other._gates)
+
+    def __repr__(self) -> str:
+        return (f"Circuit(name={self.name!r}, n_qubits={self.n_qubits}, "
+                f"gates={len(self._gates)})")
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "Circuit":
+        """Append a gate, validating its qubit/cbit indices."""
+        for q in gate.qubits:
+            if q >= self.n_qubits:
+                raise CircuitError(
+                    f"gate {gate} references qubit {q} but circuit has "
+                    f"{self.n_qubits} qubits")
+        if gate.cbit is not None and gate.cbit >= self.n_cbits:
+            raise CircuitError(
+                f"gate {gate} references cbit {gate.cbit} but circuit has "
+                f"{self.n_cbits} cbits")
+        self._gates.append(gate)
+        return self
+
+    def add(self, name: str, *qubits: int, param: Optional[float] = None,
+            cbit: Optional[int] = None) -> "Circuit":
+        """Append an operation by name; returns ``self`` for chaining."""
+        return self.append(Gate(name, tuple(qubits), param=param, cbit=cbit))
+
+    def h(self, q: int) -> "Circuit":
+        return self.add("h", q)
+
+    def x(self, q: int) -> "Circuit":
+        return self.add("x", q)
+
+    def y(self, q: int) -> "Circuit":
+        return self.add("y", q)
+
+    def z(self, q: int) -> "Circuit":
+        return self.add("z", q)
+
+    def s(self, q: int) -> "Circuit":
+        return self.add("s", q)
+
+    def sdg(self, q: int) -> "Circuit":
+        return self.add("sdg", q)
+
+    def t(self, q: int) -> "Circuit":
+        return self.add("t", q)
+
+    def tdg(self, q: int) -> "Circuit":
+        return self.add("tdg", q)
+
+    def rx(self, theta: float, q: int) -> "Circuit":
+        return self.add("rx", q, param=theta)
+
+    def ry(self, theta: float, q: int) -> "Circuit":
+        return self.add("ry", q, param=theta)
+
+    def rz(self, theta: float, q: int) -> "Circuit":
+        return self.add("rz", q, param=theta)
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.add("cx", control, target)
+
+    def cz(self, a: int, b: int) -> "Circuit":
+        return self.add("cz", a, b)
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.add("swap", a, b)
+
+    def measure(self, q: int, cbit: Optional[int] = None) -> "Circuit":
+        return self.add("measure", q, cbit=q if cbit is None else cbit)
+
+    def measure_all(self) -> "Circuit":
+        """Measure every qubit into the classical bit of the same index."""
+        if self.n_cbits < self.n_qubits:
+            raise CircuitError("classical register too small for measure_all")
+        for q in range(self.n_qubits):
+            self.measure(q)
+        return self
+
+    def barrier(self, *qubits: int) -> "Circuit":
+        """Append a barrier over *qubits* (all qubits when omitted)."""
+        qs = qubits if qubits else tuple(range(self.n_qubits))
+        return self.add("barrier", *qs)
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    # ------------------------------------------------------------------
+    # Derived views and statistics
+    # ------------------------------------------------------------------
+    @property
+    def cnots(self) -> List[Gate]:
+        """All CNOT gates in program order."""
+        return [g for g in self._gates if g.is_cnot]
+
+    @property
+    def measurements(self) -> List[Gate]:
+        """All measurement operations in program order."""
+        return [g for g in self._gates if g.is_measure]
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of operation names."""
+        return dict(Counter(g.name for g in self._gates))
+
+    def gate_count(self, include_barriers: bool = False) -> int:
+        """Total operation count (barriers excluded by default)."""
+        if include_barriers:
+            return len(self._gates)
+        return sum(1 for g in self._gates if g.name != "barrier")
+
+    def cnot_count(self) -> int:
+        """Number of CNOT gates."""
+        return sum(1 for g in self._gates if g.is_cnot)
+
+    def used_qubits(self) -> List[int]:
+        """Sorted list of qubit indices touched by any operation."""
+        used = set()
+        for g in self._gates:
+            used.update(g.qubits)
+        return sorted(used)
+
+    def interaction_graph(self) -> Dict[Tuple[int, int], int]:
+        """CNOT interaction multigraph as {(min_q, max_q): multiplicity}.
+
+        This is the "program graph" of the paper's §5: one node per qubit,
+        one weighted edge per interacting pair.
+        """
+        weights: Counter = Counter()
+        for g in self._gates:
+            if g.is_cnot:
+                a, b = g.qubits
+                weights[(min(a, b), max(a, b))] += 1
+        return dict(weights)
+
+    def qubit_degrees(self) -> Dict[int, int]:
+        """Number of CNOTs each qubit participates in (GreedyV* ordering)."""
+        degree: Counter = Counter({q: 0 for q in range(self.n_qubits)})
+        for g in self._gates:
+            if g.is_cnot:
+                for q in g.qubits:
+                    degree[q] += 1
+        return dict(degree)
+
+    def depth(self) -> int:
+        """Circuit depth counting each non-barrier op as one layer slot."""
+        level: Dict[int, int] = {}
+        depth = 0
+        for g in self._gates:
+            if g.name == "barrier":
+                if g.qubits:
+                    top = max(level.get(q, 0) for q in g.qubits)
+                    for q in g.qubits:
+                        level[q] = top
+                continue
+            start = max((level.get(q, 0) for q in g.qubits), default=0)
+            for q in g.qubits:
+                level[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Circuit":
+        """Deep-enough copy (gates are immutable)."""
+        out = Circuit(self.n_qubits, self.n_cbits,
+                      name=self.name if name is None else name)
+        out._gates = list(self._gates)
+        return out
+
+    def inverse(self) -> "Circuit":
+        """Reversed circuit with each unitary gate inverted.
+
+        Measurements and barriers are not invertible and must be absent.
+        """
+        out = Circuit(self.n_qubits, self.n_cbits, name=f"{self.name}_inv")
+        for gate in reversed(self._gates):
+            if gate.name == "barrier":
+                continue
+            out.append(inverse_gate(gate))
+        return out
+
+    def without_measurements(self) -> "Circuit":
+        """Copy of the circuit with measurements and barriers removed."""
+        out = Circuit(self.n_qubits, self.n_cbits, name=self.name)
+        out._gates = [g for g in self._gates
+                      if not g.is_measure and g.name != "barrier"]
+        return out
+
+    def remap_qubits(self, mapping: Dict[int, int],
+                     n_qubits: Optional[int] = None) -> "Circuit":
+        """Rename qubits through *mapping* (program → new index).
+
+        Args:
+            mapping: Total map over every used qubit.
+            n_qubits: Size of the new register; defaults to
+                ``max(mapping.values()) + 1``.
+        """
+        if n_qubits is None:
+            n_qubits = max(mapping.values()) + 1
+        out = Circuit(n_qubits, max(self.n_cbits, 1), name=self.name)
+        for gate in self._gates:
+            out.append(gate.remap(mapping))
+        return out

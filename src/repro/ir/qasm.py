@@ -1,0 +1,140 @@
+"""OpenQASM 2.0 emission and parsing.
+
+The compiler's final deliverable, as in the paper, is OpenQASM 2.0 text
+targeting the IBM machines. Only the subset the IR can represent is
+supported (one quantum and one classical register, the IR gate set).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List, Optional
+
+from repro.exceptions import QasmError
+from repro.ir.circuit import Circuit
+from repro.ir.gates import PARAMETRIC_GATES, Gate
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";'
+
+_QREG_RE = re.compile(r"^qreg\s+(\w+)\s*\[\s*(\d+)\s*\]$")
+_CREG_RE = re.compile(r"^creg\s+(\w+)\s*\[\s*(\d+)\s*\]$")
+_ARG_RE = re.compile(r"^(\w+)\s*\[\s*(\d+)\s*\]$")
+_GATE_RE = re.compile(r"^(\w+)\s*(?:\(([^)]*)\))?\s+(.+)$")
+_MEASURE_RE = re.compile(r"^measure\s+(.+?)\s*->\s*(.+)$")
+
+
+def circuit_to_qasm(circuit: Circuit, qreg: str = "q",
+                    creg: str = "c") -> str:
+    """Serialize *circuit* to OpenQASM 2.0 text.
+
+    SWAP gates are emitted via the standard ``swap`` from qelib1.
+    """
+    lines: List[str] = [_HEADER,
+                        f"qreg {qreg}[{circuit.n_qubits}];"]
+    if circuit.n_cbits > 0:
+        lines.append(f"creg {creg}[{circuit.n_cbits}];")
+    for gate in circuit.gates:
+        lines.append(_gate_to_qasm(gate, qreg, creg))
+    return "\n".join(lines) + "\n"
+
+
+def _gate_to_qasm(gate: Gate, qreg: str, creg: str) -> str:
+    args = ", ".join(f"{qreg}[{q}]" for q in gate.qubits)
+    if gate.is_measure:
+        return f"measure {qreg}[{gate.qubits[0]}] -> {creg}[{gate.cbit}];"
+    if gate.name == "barrier":
+        return f"barrier {args};"
+    if gate.param is not None:
+        return f"{gate.name}({gate.param!r}) {args};"
+    return f"{gate.name} {args};"
+
+
+def qasm_to_circuit(text: str, name: str = "qasm") -> Circuit:
+    """Parse an OpenQASM 2.0 program (supported subset) into a circuit.
+
+    Raises:
+        QasmError: On malformed input or unsupported constructs.
+    """
+    statements = _split_statements(text)
+    n_qubits: Optional[int] = None
+    n_cbits = 0
+    qreg_name = creg_name = None
+    gates: List[Gate] = []
+
+    for stmt in statements:
+        if stmt.startswith("OPENQASM") or stmt.startswith("include"):
+            continue
+        m = _QREG_RE.match(stmt)
+        if m:
+            if qreg_name is not None:
+                raise QasmError("multiple quantum registers not supported")
+            qreg_name, n_qubits = m.group(1), int(m.group(2))
+            continue
+        m = _CREG_RE.match(stmt)
+        if m:
+            if creg_name is not None:
+                raise QasmError("multiple classical registers not supported")
+            creg_name, n_cbits = m.group(1), int(m.group(2))
+            continue
+        if n_qubits is None:
+            raise QasmError(f"gate before qreg declaration: {stmt!r}")
+        m = _MEASURE_RE.match(stmt)
+        if m:
+            q = _parse_arg(m.group(1), qreg_name, "quantum")
+            c = _parse_arg(m.group(2), creg_name, "classical")
+            gates.append(Gate("measure", (q,), cbit=c))
+            continue
+        gates.append(_parse_gate(stmt, qreg_name))
+
+    if n_qubits is None:
+        raise QasmError("no qreg declaration found")
+    circuit = Circuit(n_qubits, n_cbits, name=name)
+    for gate in gates:
+        circuit.append(gate)
+    return circuit
+
+
+def _split_statements(text: str) -> List[str]:
+    no_comments = re.sub(r"//[^\n]*", "", text)
+    return [s.strip() for s in no_comments.split(";") if s.strip()]
+
+
+def _parse_arg(token: str, reg_name: Optional[str], kind: str) -> int:
+    m = _ARG_RE.match(token.strip())
+    if not m:
+        raise QasmError(f"cannot parse {kind} argument {token!r}")
+    if reg_name is not None and m.group(1) != reg_name:
+        raise QasmError(f"unknown {kind} register {m.group(1)!r}")
+    return int(m.group(2))
+
+
+def _parse_gate(stmt: str, qreg_name: Optional[str]) -> Gate:
+    m = _GATE_RE.match(stmt)
+    if not m:
+        raise QasmError(f"cannot parse statement {stmt!r}")
+    op, param_text, args_text = m.group(1), m.group(2), m.group(3)
+    op = op.lower()
+    qubits = tuple(_parse_arg(a, qreg_name, "quantum")
+                   for a in args_text.split(","))
+    param = None
+    if param_text is not None:
+        if op not in PARAMETRIC_GATES:
+            raise QasmError(f"{op} does not take a parameter")
+        param = _eval_param(param_text)
+    try:
+        return Gate(op, qubits, param=param)
+    except Exception as exc:  # re-raise as a parse error with context
+        raise QasmError(f"invalid gate {stmt!r}: {exc}") from exc
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a rotation-angle expression like ``pi/4`` or ``-0.5*pi``."""
+    allowed = re.compile(r"^[\d\s.+\-*/()epi]*$")
+    if not allowed.match(text):
+        raise QasmError(f"unsupported parameter expression {text!r}")
+    try:
+        return float(eval(text, {"__builtins__": {}},  # noqa: S307
+                          {"pi": math.pi, "e": math.e}))
+    except Exception as exc:
+        raise QasmError(f"cannot evaluate parameter {text!r}") from exc

@@ -1,0 +1,123 @@
+"""ScaffIR — a small textual IR standing in for ScaffCC's LLVM IR.
+
+The paper's toolflow starts from the LLVM IR that ScaffCC produces for a
+Scaffold program: a flat list of decomposed gates over named qubit
+registers, with data dependencies implied by program order. ScaffIR is a
+minimal, human-writable format carrying the same information:
+
+    // Bernstein-Vazirani on 4 qubits
+    qubits 4
+    cbits 4
+    h q0
+    h q3
+    x q3
+    cx q0, q3
+    measure q0 -> c0
+
+Lines are ``<op> [ (param) ] q<i>[, q<j>]`` plus ``measure qi -> cj``,
+``qubits N``, ``cbits N``, ``barrier``, and ``//`` comments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.exceptions import ScaffIRError
+from repro.ir.circuit import Circuit
+from repro.ir.gates import PARAMETRIC_GATES, Gate
+from repro.ir.qasm import _eval_param
+
+_QUBITS_RE = re.compile(r"^qubits\s+(\d+)$")
+_CBITS_RE = re.compile(r"^cbits\s+(\d+)$")
+_MEASURE_RE = re.compile(r"^measure\s+q(\d+)\s*->\s*c(\d+)$")
+_GATE_RE = re.compile(r"^(\w+)\s*(?:\(([^)]*)\))?\s*(.*)$")
+_QUBIT_RE = re.compile(r"^q(\d+)$")
+
+
+def parse_scaffir(text: str, name: str = "scaffir") -> Circuit:
+    """Parse ScaffIR text into a :class:`Circuit`.
+
+    Raises:
+        ScaffIRError: On malformed input.
+    """
+    n_qubits: Optional[int] = None
+    n_cbits: Optional[int] = None
+    gates: List[Gate] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = re.sub(r"//.*$", "", raw).strip()
+        if not line:
+            continue
+        m = _QUBITS_RE.match(line)
+        if m:
+            if n_qubits is not None:
+                raise ScaffIRError(f"line {lineno}: duplicate qubits decl")
+            n_qubits = int(m.group(1))
+            continue
+        m = _CBITS_RE.match(line)
+        if m:
+            n_cbits = int(m.group(1))
+            continue
+        if n_qubits is None:
+            raise ScaffIRError(f"line {lineno}: gate before 'qubits N'")
+        m = _MEASURE_RE.match(line)
+        if m:
+            gates.append(Gate("measure", (int(m.group(1)),),
+                              cbit=int(m.group(2))))
+            continue
+        gates.append(_parse_gate_line(line, lineno))
+
+    if n_qubits is None:
+        raise ScaffIRError("missing 'qubits N' declaration")
+    circuit = Circuit(n_qubits, n_cbits, name=name)
+    try:
+        for gate in gates:
+            circuit.append(gate)
+    except Exception as exc:
+        raise ScaffIRError(str(exc)) from exc
+    return circuit
+
+
+def _parse_gate_line(line: str, lineno: int) -> Gate:
+    m = _GATE_RE.match(line)
+    if not m:
+        raise ScaffIRError(f"line {lineno}: cannot parse {line!r}")
+    op, param_text, args_text = m.group(1).lower(), m.group(2), m.group(3)
+    qubits = []
+    if args_text.strip():
+        for token in args_text.split(","):
+            qm = _QUBIT_RE.match(token.strip())
+            if not qm:
+                raise ScaffIRError(
+                    f"line {lineno}: bad qubit token {token.strip()!r}")
+            qubits.append(int(qm.group(1)))
+    param = None
+    if param_text is not None:
+        if op not in PARAMETRIC_GATES:
+            raise ScaffIRError(f"line {lineno}: {op} takes no parameter")
+        try:
+            param = _eval_param(param_text)
+        except Exception as exc:
+            raise ScaffIRError(f"line {lineno}: {exc}") from exc
+    try:
+        return Gate(op, tuple(qubits), param=param)
+    except Exception as exc:
+        raise ScaffIRError(f"line {lineno}: {exc}") from exc
+
+
+def emit_scaffir(circuit: Circuit) -> str:
+    """Serialize a circuit back to ScaffIR text (round-trips with parse)."""
+    lines = [f"// {circuit.name}",
+             f"qubits {circuit.n_qubits}",
+             f"cbits {circuit.n_cbits}"]
+    for gate in circuit.gates:
+        if gate.is_measure:
+            lines.append(f"measure q{gate.qubits[0]} -> c{gate.cbit}")
+        elif gate.param is not None:
+            args = ", ".join(f"q{q}" for q in gate.qubits)
+            lines.append(f"{gate.name}({gate.param!r}) {args}")
+        else:
+            args = ", ".join(f"q{q}" for q in gate.qubits)
+            lines.append(f"{gate.name} {args}".rstrip())
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,44 @@
+"""Benchmark programs: Table-2 circuits and synthetic generators."""
+
+from repro.programs.arith import adder, fredkin, or_gate, peres, toffoli
+from repro.programs.bv import bernstein_vazirani, bv4, bv6, bv8
+from repro.programs.hs import hidden_shift, hs2, hs4, hs6
+from repro.programs.qft import append_qft, qft2, qft_roundtrip
+from repro.programs.random_circuits import random_circuit, scalability_suite
+from repro.programs.registry import (
+    BENCHMARK_ORDER,
+    BenchmarkSpec,
+    all_benchmarks,
+    benchmark_names,
+    build_benchmark,
+    expected_output,
+    get_benchmark,
+)
+
+__all__ = [
+    "BENCHMARK_ORDER",
+    "BenchmarkSpec",
+    "adder",
+    "all_benchmarks",
+    "append_qft",
+    "benchmark_names",
+    "bernstein_vazirani",
+    "build_benchmark",
+    "bv4",
+    "bv6",
+    "bv8",
+    "expected_output",
+    "fredkin",
+    "get_benchmark",
+    "hidden_shift",
+    "hs2",
+    "hs4",
+    "hs6",
+    "or_gate",
+    "peres",
+    "qft2",
+    "qft_roundtrip",
+    "random_circuit",
+    "scalability_suite",
+    "toffoli",
+]

@@ -1,0 +1,146 @@
+"""Reversible-logic kernels: Toffoli, Fredkin, Or, Peres, Adder.
+
+Each benchmark fixes a classical input with X gates so the ideal output
+is a single deterministic bit string — matching how the paper scores
+success on hardware. Gate/CNOT inventories follow Table 2:
+
+* Toffoli — standard 6-CNOT Clifford+T decomposition.
+* Fredkin — CNOT-conjugated Toffoli, 8 CNOTs.
+* Or      — De Morgan around a Toffoli, 6 CNOTs.
+* Peres   — Toffoli with the trailing CNOT fused away, 5 CNOTs.
+* Adder   — 1-bit Cuccaro-style full adder using Margolus (relative
+  phase) Toffolis, giving a *star-shaped* CNOT interaction graph; this
+  reproduces the paper's observation that Adder (like BV/HS/QFT) can be
+  mapped with zero qubit movement while the triangle-shaped Toffoli
+  family cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import CircuitError
+from repro.ir.circuit import Circuit
+from repro.programs.primitives import (
+    append_margolus,
+    append_peres,
+    append_toffoli,
+)
+
+
+def _prepare_input(circuit: Circuit, bits: Sequence[int]) -> None:
+    for q, bit in enumerate(bits):
+        if bit:
+            circuit.x(q)
+
+
+def toffoli(inputs: Sequence[int] = (1, 1, 0)) -> Circuit:
+    """Toffoli kernel on inputs (a, b, c); output c XOR ab."""
+    _check_bits(inputs, 3)
+    circuit = Circuit(3, 3, name="Toffoli")
+    _prepare_input(circuit, inputs)
+    append_toffoli(circuit, 0, 1, 2)
+    circuit.measure_all()
+    return circuit
+
+
+def toffoli_expected_output(inputs: Sequence[int] = (1, 1, 0)) -> str:
+    a, b, c = inputs
+    return f"{a}{b}{c ^ (a & b)}"
+
+
+def fredkin(inputs: Sequence[int] = (1, 1, 0)) -> Circuit:
+    """Controlled-SWAP on inputs (ctrl, x, y): swaps x,y when ctrl=1."""
+    _check_bits(inputs, 3)
+    circuit = Circuit(3, 3, name="Fredkin")
+    _prepare_input(circuit, inputs)
+    circuit.cx(2, 1)
+    append_toffoli(circuit, 0, 1, 2)
+    circuit.cx(2, 1)
+    circuit.measure_all()
+    return circuit
+
+
+def fredkin_expected_output(inputs: Sequence[int] = (1, 1, 0)) -> str:
+    ctrl, x, y = inputs
+    if ctrl:
+        x, y = y, x
+    return f"{ctrl}{x}{y}"
+
+
+def or_gate(inputs: Sequence[int] = (1, 0, 0)) -> Circuit:
+    """OR kernel: c XOR (a OR b), via X-conjugated Toffoli (De Morgan)."""
+    _check_bits(inputs, 3)
+    circuit = Circuit(3, 3, name="Or")
+    _prepare_input(circuit, inputs)
+    circuit.x(0)
+    circuit.x(1)
+    append_toffoli(circuit, 0, 1, 2)
+    circuit.x(0)
+    circuit.x(1)
+    circuit.x(2)
+    circuit.measure_all()
+    return circuit
+
+
+def or_expected_output(inputs: Sequence[int] = (1, 0, 0)) -> str:
+    a, b, c = inputs
+    return f"{a}{b}{c ^ (a | b)}"
+
+
+def peres(inputs: Sequence[int] = (1, 1, 0)) -> Circuit:
+    """Peres gate: (a, b, c) -> (a, a XOR b, c XOR ab)."""
+    _check_bits(inputs, 3)
+    circuit = Circuit(3, 3, name="Peres")
+    _prepare_input(circuit, inputs)
+    append_peres(circuit, 0, 1, 2)
+    circuit.measure_all()
+    return circuit
+
+
+def peres_expected_output(inputs: Sequence[int] = (1, 1, 0)) -> str:
+    a, b, c = inputs
+    return f"{a}{a ^ b}{c ^ (a & b)}"
+
+
+def adder(inputs: Sequence[int] = (1, 1, 1)) -> Circuit:
+    """One-bit full adder on qubits (cin=q0, b=q1, a=q2, cout=q3).
+
+    Cuccaro MAJ / UMA structure with Margolus Toffolis. After the
+    circuit: q1 holds the sum bit, q3 the carry-out, q0/q2 are restored.
+    All CNOT interactions touch q2, so the program graph is a star and
+    the mapper can always find a zero-SWAP placement on the 2x8 grid.
+    """
+    _check_bits(inputs, 3)
+    cin_bit, b_bit, a_bit = inputs
+    cin, b, a, cout = 0, 1, 2, 3
+    circuit = Circuit(4, 4, name="Adder")
+    _prepare_input(circuit, (cin_bit, b_bit, a_bit))
+
+    # MAJ(cin, b, a): a becomes MAJ(a, b, cin); b, cin hold XORs with a.
+    circuit.cx(a, b)
+    circuit.cx(a, cin)
+    append_margolus(circuit, cin, b, a)
+    # Carry-out.
+    circuit.cx(a, cout)
+    # UMA', restoring a and cin and producing the sum in b, using only
+    # edges (a,b) and (a,cin) to stay triangle-free.
+    append_margolus(circuit, cin, b, a, inverse=True)
+    circuit.cx(cin, a)   # a := a XOR cin' = original cin bit path
+    circuit.cx(a, b)     # b := b XOR (a XOR cin')  -> sum accumulates
+    circuit.cx(cin, a)   # undo the temporary XOR on a
+    circuit.cx(a, cin)   # restore cin
+    circuit.measure_all()
+    return circuit
+
+
+def adder_expected_output(inputs: Sequence[int] = (1, 1, 1)) -> str:
+    cin_bit, b_bit, a_bit = inputs
+    total = cin_bit + b_bit + a_bit
+    sum_bit, carry = total & 1, total >> 1
+    return f"{cin_bit}{sum_bit}{a_bit}{carry}"
+
+
+def _check_bits(bits: Sequence[int], n: int) -> None:
+    if len(bits) != n or any(b not in (0, 1) for b in bits):
+        raise CircuitError(f"inputs must be {n} bits of 0/1, got {bits!r}")

@@ -1,0 +1,83 @@
+"""Bernstein-Vazirani benchmark family (BV4, BV6, BV8 in the paper).
+
+The circuit finds a hidden bit string *s* with one oracle query: the
+data register ends deterministically in state |s>, so the success rate of
+a run is simply the fraction of trials measuring *s*. Only data qubits
+are measured (the ancilla is left in |->, whose measurement outcome is
+not meaningful). Each 1-bit of *s* contributes one CNOT; the Table-2
+instances all use a weight-3 hidden string.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import CircuitError
+from repro.ir.circuit import Circuit
+
+
+def bernstein_vazirani(hidden_string: Sequence[int],
+                       name: str = "") -> Circuit:
+    """Build a Bernstein-Vazirani circuit for *hidden_string*.
+
+    Args:
+        hidden_string: Bits of the hidden string, ``hidden_string[i]``
+            controlling whether data qubit *i* couples to the ancilla.
+
+    Returns:
+        Circuit on ``len(hidden_string) + 1`` qubits; the last qubit is
+        the oracle ancilla. Data qubits are measured into cbits of the
+        same index.
+    """
+    s = list(hidden_string)
+    if not s or any(bit not in (0, 1) for bit in s):
+        raise CircuitError("hidden string must be a non-empty 0/1 sequence")
+    n_data = len(s)
+    ancilla = n_data
+    circuit = Circuit(n_data + 1, n_data,
+                      name=name or f"BV{n_data + 1}")
+    circuit.x(ancilla)
+    for q in range(n_data + 1):
+        circuit.h(q)
+    for q, bit in enumerate(s):
+        if bit:
+            circuit.cx(q, ancilla)
+    for q in range(n_data):
+        circuit.h(q)
+    for q in range(n_data):
+        circuit.measure(q)
+    return circuit
+
+
+def _weight3_string(n_data: int) -> list:
+    """Hidden string of Hamming weight min(3, n_data), matching Table 2's
+    3-CNOT BV instances."""
+    weight = min(3, n_data)
+    s = [0] * n_data
+    for i in range(weight):
+        s[i * n_data // weight] = 1
+    return s
+
+
+def bv4() -> Circuit:
+    """BV on 4 qubits (3 data + ancilla), hidden string 111."""
+    return bernstein_vazirani(_weight3_string(3), name="BV4")
+
+
+def bv6() -> Circuit:
+    """BV on 6 qubits (5 data + ancilla), weight-3 hidden string."""
+    return bernstein_vazirani(_weight3_string(5), name="BV6")
+
+
+def bv8() -> Circuit:
+    """BV on 8 qubits (7 data + ancilla), weight-3 hidden string."""
+    return bernstein_vazirani(_weight3_string(7), name="BV8")
+
+
+def bv_expected_output(circuit_name: str) -> str:
+    """The deterministic measurement outcome (cbit 0 first) for a BV
+    instance built by this module."""
+    sizes = {"BV4": 3, "BV6": 5, "BV8": 7}
+    if circuit_name not in sizes:
+        raise CircuitError(f"unknown BV instance {circuit_name!r}")
+    return "".join(str(b) for b in _weight3_string(sizes[circuit_name]))

@@ -1,0 +1,85 @@
+"""Extra benchmark programs beyond Table 2.
+
+GHZ and W state preparation — standard NISQ-era acceptance tests with
+*non-deterministic* ideal outputs, exercising the executor's
+distribution-overlap scoring path (the Table-2 programs are all
+deterministic). Useful as additional workloads for the compiler
+comparisons and as examples of the library's general applicability.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Set
+
+from repro.exceptions import CircuitError
+from repro.ir.circuit import Circuit
+
+
+def ghz(n: int, name: str = "") -> Circuit:
+    """GHZ state preparation: (|0...0> + |1...1>)/sqrt(2), measured.
+
+    Ideal outcome distribution: all-zeros and all-ones, half each.
+    """
+    if n < 2:
+        raise CircuitError("GHZ needs at least 2 qubits")
+    circuit = Circuit(n, n, name=name or f"GHZ{n}")
+    circuit.h(0)
+    for q in range(n - 1):
+        circuit.cx(q, q + 1)
+    circuit.measure_all()
+    return circuit
+
+
+def ghz_ideal_distribution(n: int) -> Dict[str, float]:
+    """The exact outcome distribution of :func:`ghz`."""
+    return {"0" * n: 0.5, "1" * n: 0.5}
+
+
+def ghz_support(n: int) -> Set[str]:
+    """Outcomes with non-zero ideal probability."""
+    return set(ghz_ideal_distribution(n))
+
+
+def _append_cry(circuit: Circuit, theta: float, control: int,
+                target: int) -> None:
+    """Controlled-RY via 2 CNOTs (exact for any angle)."""
+    circuit.ry(theta / 2.0, target)
+    circuit.cx(control, target)
+    circuit.ry(-theta / 2.0, target)
+    circuit.cx(control, target)
+
+
+def w_state(n: int, name: str = "") -> Circuit:
+    """W state preparation: uniform superposition of weight-1 strings.
+
+    Uses the amplitude-splitting cascade: after X on qubit 0, each step
+    i moves the remaining excitation amplitude one qubit down with a
+    controlled-RY of angle ``2 arccos(sqrt(1/(n-i)))`` followed by a
+    CNOT back, leaving 1/sqrt(n) amplitude on each one-hot outcome.
+    """
+    if n < 2:
+        raise CircuitError("W state needs at least 2 qubits")
+    circuit = Circuit(n, n, name=name or f"W{n}")
+    circuit.x(0)
+    for i in range(n - 1):
+        theta = 2.0 * math.acos(math.sqrt(1.0 / (n - i)))
+        _append_cry(circuit, theta, i, i + 1)
+        circuit.cx(i + 1, i)
+    circuit.measure_all()
+    return circuit
+
+
+def w_ideal_distribution(n: int) -> Dict[str, float]:
+    """The exact outcome distribution of :func:`w_state`."""
+    out = {}
+    for i in range(n):
+        bits = ["0"] * n
+        bits[i] = "1"
+        out["".join(bits)] = 1.0 / n
+    return out
+
+
+def w_support(n: int) -> Set[str]:
+    """Outcomes with non-zero ideal probability."""
+    return set(w_ideal_distribution(n))

@@ -1,0 +1,93 @@
+"""Hidden-shift benchmark family (HS2, HS4, HS6 in the paper).
+
+Uses the standard hidden-shift circuit for the Maiorana-McFarland bent
+function f(x, y) = x . y over n/2-bit halves: the shifted-function oracle
+is H^n X^s CZ-layer X^s H^n, followed by the dual oracle CZ-layer and a
+final H^n. The measured register deterministically equals the shift *s*.
+Each CZ contributes one CNOT (CZ = H . CX . H on the target), so an
+n-qubit instance has n CNOTs — 2, 4, 6 for HS2/4/6 as in Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import CircuitError
+from repro.ir.circuit import Circuit
+
+
+def _append_cz(circuit: Circuit, a: int, b: int) -> None:
+    circuit.h(b)
+    circuit.cx(a, b)
+    circuit.h(b)
+
+
+def hidden_shift(shift: Sequence[int], name: str = "") -> Circuit:
+    """Build a hidden-shift circuit for the bit string *shift*.
+
+    Args:
+        shift: Bits of the hidden shift; length must be even.
+
+    Returns:
+        Circuit on ``len(shift)`` qubits measuring all qubits; the ideal
+        outcome is exactly *shift*.
+    """
+    s = list(shift)
+    n = len(s)
+    if n == 0 or n % 2 != 0:
+        raise CircuitError("hidden shift needs a non-empty even-length string")
+    if any(bit not in (0, 1) for bit in s):
+        raise CircuitError("shift must be a 0/1 sequence")
+    half = n // 2
+    circuit = Circuit(n, n, name=name or f"HS{n}")
+
+    for q in range(n):
+        circuit.h(q)
+    for q, bit in enumerate(s):
+        if bit:
+            circuit.x(q)
+    for i in range(half):
+        _append_cz(circuit, i, i + half)
+    for q, bit in enumerate(s):
+        if bit:
+            circuit.x(q)
+    for q in range(n):
+        circuit.h(q)
+    for i in range(half):
+        _append_cz(circuit, i, i + half)
+    for q in range(n):
+        circuit.h(q)
+    for q in range(n):
+        circuit.measure(q)
+    return circuit
+
+
+#: Shifts chosen so gate totals land on Table 2's 16/28/42 counts
+#: (weight 2, 2 and 3 respectively).
+_SHIFTS = {
+    "HS2": [1, 1],
+    "HS4": [1, 0, 1, 0],
+    "HS6": [1, 1, 0, 1, 0, 0],
+}
+
+
+def hs2() -> Circuit:
+    """Hidden shift on 2 qubits, shift 11."""
+    return hidden_shift(_SHIFTS["HS2"], name="HS2")
+
+
+def hs4() -> Circuit:
+    """Hidden shift on 4 qubits, weight-2 shift."""
+    return hidden_shift(_SHIFTS["HS4"], name="HS4")
+
+
+def hs6() -> Circuit:
+    """Hidden shift on 6 qubits, weight-3 shift."""
+    return hidden_shift(_SHIFTS["HS6"], name="HS6")
+
+
+def hs_expected_output(circuit_name: str) -> str:
+    """Deterministic outcome (cbit 0 first) for an HS instance."""
+    if circuit_name not in _SHIFTS:
+        raise CircuitError(f"unknown HS instance {circuit_name!r}")
+    return "".join(str(b) for b in _SHIFTS[circuit_name])

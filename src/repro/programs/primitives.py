@@ -1,0 +1,96 @@
+"""Shared circuit-construction primitives for the benchmark programs.
+
+These are the decompositions ScaffCC applies before handing the IR to the
+backend: Toffoli into the standard 6-CNOT Clifford+T network, the
+relative-phase (Margolus) Toffoli into 3 CNOTs, controlled-phase into
+CNOT + RZ, and SWAP into 3 CNOTs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.circuit import Circuit
+
+
+def append_toffoli(circuit: Circuit, a: int, b: int, c: int) -> Circuit:
+    """Standard 6-CNOT, 9-single-qubit Toffoli (controls *a*, *b*; target *c*)."""
+    circuit.h(c)
+    circuit.cx(b, c)
+    circuit.tdg(c)
+    circuit.cx(a, c)
+    circuit.t(c)
+    circuit.cx(b, c)
+    circuit.tdg(c)
+    circuit.cx(a, c)
+    circuit.t(b)
+    circuit.t(c)
+    circuit.h(c)
+    circuit.cx(a, b)
+    circuit.t(a)
+    circuit.tdg(b)
+    circuit.cx(a, b)
+    return circuit
+
+
+def append_peres(circuit: Circuit, a: int, b: int, c: int) -> Circuit:
+    """Peres gate: |a,b,c> -> |a, a XOR b, c XOR ab| — 5 CNOTs.
+
+    Equals Toffoli(a,b,c) followed by CNOT(a,b); the trailing CNOT of the
+    Toffoli decomposition cancels, leaving 5 CNOTs.
+    """
+    circuit.h(c)
+    circuit.cx(b, c)
+    circuit.tdg(c)
+    circuit.cx(a, c)
+    circuit.t(c)
+    circuit.cx(b, c)
+    circuit.tdg(c)
+    circuit.cx(a, c)
+    circuit.t(b)
+    circuit.t(c)
+    circuit.h(c)
+    circuit.cx(a, b)
+    circuit.t(a)
+    circuit.tdg(b)
+    return circuit
+
+
+def append_margolus(circuit: Circuit, a: int, b: int, c: int,
+                    inverse: bool = False) -> Circuit:
+    """Relative-phase (Margolus) Toffoli — 3 CNOTs, 4 RY rotations.
+
+    Acts as CCX on computational-basis states (exactly what classical
+    arithmetic benchmarks need) with interaction edges (b,c) and (a,c)
+    only, which keeps the program graph triangle-free.
+    """
+    # The sequence is its own inverse on basis states; the flag is kept
+    # for call-site readability.
+    del inverse
+    theta = math.pi / 4.0
+    circuit.ry(theta, c)
+    circuit.cx(b, c)
+    circuit.ry(theta, c)
+    circuit.cx(a, c)
+    circuit.ry(-theta, c)
+    circuit.cx(b, c)
+    circuit.ry(-theta, c)
+    return circuit
+
+
+def append_cphase(circuit: Circuit, theta: float, a: int, b: int) -> Circuit:
+    """Controlled-phase diag(1,1,1,e^{i theta}) via 2 CNOTs + 3 RZ."""
+    circuit.rz(theta / 2.0, a)
+    circuit.cx(a, b)
+    circuit.rz(-theta / 2.0, b)
+    circuit.cx(a, b)
+    circuit.rz(theta / 2.0, b)
+    return circuit
+
+
+def append_swap(circuit: Circuit, a: int, b: int) -> Circuit:
+    """SWAP as 3 CNOTs (the hardware expansion the paper assumes)."""
+    circuit.cx(a, b)
+    circuit.cx(b, a)
+    circuit.cx(a, b)
+    return circuit

@@ -1,0 +1,71 @@
+"""Quantum Fourier Transform benchmark (QFT2 in the paper).
+
+To obtain a deterministic correct answer on hardware (the paper scores
+runs by fraction-correct), the benchmark prepares the uniform
+superposition H^n |0> and applies the inverse QFT: since
+QFT |0...0> = H^n |0...0>, the ideal outcome is exactly |0...0>.
+The gate inventory matches a plain QFT — Hadamards, controlled-phase
+rotations (2 CNOTs + 3 RZ each) and the final reversal SWAPs (3 CNOTs
+each) — so QFT2 lands on Table 2's 5-CNOT count.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CircuitError
+from repro.ir.circuit import Circuit
+from repro.programs.primitives import append_cphase, append_swap
+
+
+def append_qft(circuit: Circuit, qubits, inverse: bool = False) -> Circuit:
+    """Append a (possibly inverse) QFT over *qubits* to *circuit*.
+
+    Controlled phases are decomposed into the IR gate set; the bit
+    reversal is realized with explicit SWAP macros as on hardware.
+    """
+    qs = list(qubits)
+    n = len(qs)
+    sign = -1.0 if inverse else 1.0
+
+    def rotations():
+        for j in range(n):
+            yield ("h", j, None, None)
+            for k in range(j + 1, n):
+                import math
+                yield ("cp", k, j, sign * math.pi / (2 ** (k - j)))
+
+    ops = list(rotations())
+    if inverse:
+        for i in range(n // 2):
+            append_swap(circuit, qs[i], qs[n - 1 - i])
+        ops = list(reversed(ops))
+    for kind, a, b, theta in ops:
+        if kind == "h":
+            circuit.h(qs[a])
+        else:
+            append_cphase(circuit, theta, qs[a], qs[b])
+    if not inverse:
+        for i in range(n // 2):
+            append_swap(circuit, qs[i], qs[n - 1 - i])
+    return circuit
+
+
+def qft_roundtrip(n: int, name: str = "") -> Circuit:
+    """H^n followed by inverse QFT — deterministic |0...0> outcome."""
+    if n < 1:
+        raise CircuitError("QFT needs at least one qubit")
+    circuit = Circuit(n, n, name=name or f"QFT{n}")
+    for q in range(n):
+        circuit.h(q)
+    append_qft(circuit, range(n), inverse=True)
+    circuit.measure_all()
+    return circuit
+
+
+def qft2() -> Circuit:
+    """The paper's 2-qubit QFT benchmark (5 CNOTs)."""
+    return qft_roundtrip(2, name="QFT")
+
+
+def qft_expected_output(n: int = 2) -> str:
+    """Deterministic outcome of :func:`qft_roundtrip` (all zeros)."""
+    return "0" * n

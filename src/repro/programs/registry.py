@@ -1,0 +1,112 @@
+"""Benchmark registry — the paper's Table 2 plus generators.
+
+Maps benchmark names to builders, expected (deterministic) outcomes, and
+the qubit/gate/CNOT counts the paper reports, so the Table-2 experiment
+can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.ir.circuit import Circuit
+from repro.programs import arith, bv, hs, qft
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A registered benchmark.
+
+    Attributes:
+        name: Canonical benchmark name (Table 2 spelling).
+        build: Zero-argument circuit factory.
+        expected_output: Ideal measurement outcome, cbit 0 first.
+        paper_qubits: Qubit count reported in Table 2.
+        paper_gates: Gate count reported in Table 2.
+        paper_cnots: CNOT count reported in Table 2.
+    """
+
+    name: str
+    build: Callable[[], Circuit]
+    expected_output: str
+    paper_qubits: int
+    paper_gates: int
+    paper_cnots: int
+
+
+_REGISTRY: Dict[str, BenchmarkSpec] = {}
+
+
+def _register(spec: BenchmarkSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+_register(BenchmarkSpec("BV4", bv.bv4, bv.bv_expected_output("BV4"),
+                        4, 12, 3))
+_register(BenchmarkSpec("BV6", bv.bv6, bv.bv_expected_output("BV6"),
+                        6, 12, 3))
+_register(BenchmarkSpec("BV8", bv.bv8, bv.bv_expected_output("BV8"),
+                        8, 18, 3))
+_register(BenchmarkSpec("HS2", hs.hs2, hs.hs_expected_output("HS2"),
+                        2, 16, 2))
+_register(BenchmarkSpec("HS4", hs.hs4, hs.hs_expected_output("HS4"),
+                        4, 28, 4))
+_register(BenchmarkSpec("HS6", hs.hs6, hs.hs_expected_output("HS6"),
+                        6, 42, 6))
+_register(BenchmarkSpec("Fredkin", arith.fredkin,
+                        arith.fredkin_expected_output(), 3, 19, 8))
+_register(BenchmarkSpec("Or", arith.or_gate,
+                        arith.or_expected_output(), 3, 17, 6))
+_register(BenchmarkSpec("Peres", arith.peres,
+                        arith.peres_expected_output(), 3, 16, 5))
+_register(BenchmarkSpec("Toffoli", arith.toffoli,
+                        arith.toffoli_expected_output(), 3, 18, 6))
+_register(BenchmarkSpec("Adder", arith.adder,
+                        arith.adder_expected_output(), 4, 23, 10))
+_register(BenchmarkSpec("QFT", qft.qft2, qft.qft_expected_output(2),
+                        2, 13, 5))
+
+#: Table-2 ordering used throughout the paper's figures.
+BENCHMARK_ORDER: List[str] = [
+    "BV4", "BV6", "BV8", "HS2", "HS4", "HS6",
+    "Toffoli", "Fredkin", "Or", "Peres", "QFT", "Adder",
+]
+
+
+def benchmark_names() -> List[str]:
+    """All registered benchmark names in Table-2 order."""
+    return list(BENCHMARK_ORDER)
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by name.
+
+    Raises:
+        ReproError: If the name is unknown.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark {name!r}; known: {benchmark_names()}"
+        ) from None
+
+
+def build_benchmark(name: str) -> Circuit:
+    """Build the circuit for a registered benchmark."""
+    return get_benchmark(name).build()
+
+
+def expected_output(name: str) -> str:
+    """Ideal deterministic outcome for a registered benchmark."""
+    return get_benchmark(name).expected_output
+
+
+def all_benchmarks(subset: Optional[List[str]] = None):
+    """Yield (name, circuit, expected_output) for *subset* or all."""
+    names = subset if subset is not None else benchmark_names()
+    for name in names:
+        spec = get_benchmark(name)
+        yield name, spec.build(), spec.expected_output

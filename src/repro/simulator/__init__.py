@@ -1,0 +1,33 @@
+"""Noisy hardware executor (the IBMQ16 substitute)."""
+
+from repro.simulator.analytic import AnalyticEstimate, estimate_success_analytic
+from repro.simulator.executor import ExecutionResult, execute
+from repro.simulator.noise import (
+    IdleRates,
+    NoiseModel,
+    PauliEvent,
+    ideal_noise_model,
+)
+from repro.simulator.statevector import StateVector
+from repro.simulator.success import (
+    distribution_overlap,
+    empirical_distribution,
+    success_rate,
+    total_variation_distance,
+)
+
+__all__ = [
+    "AnalyticEstimate",
+    "ExecutionResult",
+    "estimate_success_analytic",
+    "IdleRates",
+    "NoiseModel",
+    "PauliEvent",
+    "StateVector",
+    "distribution_overlap",
+    "empirical_distribution",
+    "execute",
+    "ideal_noise_model",
+    "success_rate",
+    "total_variation_distance",
+]

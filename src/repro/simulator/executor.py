@@ -1,0 +1,240 @@
+"""Monte-Carlo noisy execution of compiled programs.
+
+Stands in for the paper's 8192-trial runs on IBMQ16: each trial executes
+the physical circuit on a statevector, with stochastic Pauli errors
+sampled per gate, idle decoherence sampled per waiting window (computed
+from the compiled schedule's start times), and readout bit flips on
+measurement. The fraction of trials returning the benchmark's known
+answer is the measured success rate.
+
+Trials with no sampled error events short-circuit to a draw from the
+ideal output distribution, which keeps thousand-trial runs fast without
+changing the sampled law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.compiler.compile import CompiledProgram
+from repro.exceptions import SimulationError
+from repro.hardware.calibration import Calibration
+from repro.ir.circuit import Circuit
+from repro.simulator.noise import NoiseModel, PauliEvent
+from repro.simulator.statevector import StateVector
+from repro.simulator.success import distribution_overlap
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a Monte-Carlo run.
+
+    Attributes:
+        counts: Measured classical strings (cbit 0 first) -> frequency.
+        trials: Number of trials executed.
+        expected: The benchmark's known answer, when provided.
+        ideal_distribution: Noise-free outcome distribution.
+    """
+
+    counts: Dict[str, int]
+    trials: int
+    expected: Optional[str] = None
+    ideal_distribution: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of trials measuring the expected answer."""
+        if self.expected is None:
+            raise SimulationError("no expected outcome recorded")
+        return self.counts.get(self.expected, 0) / self.trials
+
+    @property
+    def overlap(self) -> float:
+        """Distribution overlap sum_o min(p_ideal, p_measured)."""
+        empirical = {o: c / self.trials for o, c in self.counts.items()}
+        return distribution_overlap(self.ideal_distribution, empirical)
+
+    def top_outcome(self) -> str:
+        """Most frequent measured string."""
+        return max(self.counts, key=lambda o: (self.counts[o], o))
+
+
+class _CompactProgram:
+    """Physical program restricted to the hardware qubits it touches."""
+
+    def __init__(self, circuit: Circuit,
+                 times: Sequence[Tuple[float, float]],
+                 topology=None) -> None:
+        used = circuit.used_qubits()
+        if not used:
+            raise SimulationError("program touches no qubits")
+        self.hw_to_dense = {h: i for i, h in enumerate(used)}
+        self.used = used
+        self.n_qubits = len(used)
+        self.gates = list(circuit.gates)
+        self.times = list(times)
+        self.n_cbits = circuit.n_cbits
+        # Measurement map: dense qubit -> cbit; validated terminal.
+        self.measures: List[Tuple[int, int, int]] = []  # (hw, dense, cbit)
+        seen_measure = set()
+        for gate in self.gates:
+            for q in gate.qubits:
+                if q in seen_measure and gate.name != "barrier":
+                    raise SimulationError(
+                        f"operation on qubit {q} after its measurement")
+            if gate.is_measure:
+                hw = gate.qubits[0]
+                self.measures.append((hw, self.hw_to_dense[hw], gate.cbit))
+                seen_measure.add(hw)
+        # Idle window preceding each gate, per participating qubit.
+        last_finish: Dict[int, float] = {}
+        self.idle_before: List[Tuple[Tuple[int, float], ...]] = []
+        for gate, (start, duration) in zip(self.gates, self.times):
+            gaps = []
+            for q in gate.qubits:
+                previous = last_finish.get(q)
+                if previous is not None and start > previous + 1e-9:
+                    gaps.append((q, start - previous))
+                last_finish[q] = start + duration
+            self.idle_before.append(tuple(gaps))
+        # Crosstalk exposure: for each two-qubit gate, how many other
+        # two-qubit gates overlap it in time on an adjacent coupling.
+        self.concurrent_neighbors: List[int] = [0] * len(self.gates)
+        two_q = [(i, g, self.times[i]) for i, g in enumerate(self.gates)
+                 if g.is_two_qubit]
+        for idx, (i, g1, (s1, d1)) in enumerate(two_q):
+            qs1 = set(g1.qubits)
+            for j, g2, (s2, d2) in two_q[idx + 1:]:
+                if s1 + d1 <= s2 + 1e-9 or s2 + d2 <= s1 + 1e-9:
+                    continue  # no time overlap
+                qs2 = set(g2.qubits)
+                if qs1 & qs2:
+                    continue  # same gate chain, not crosstalk
+                if topology is not None and not any(
+                        topology.is_adjacent(a, b)
+                        for a in qs1 for b in qs2):
+                    continue  # spatially remote couplings
+                self.concurrent_neighbors[i] += 1
+                self.concurrent_neighbors[j] += 1
+
+
+def _dense_event(event: PauliEvent, mapping: Dict[int, int]) -> Tuple[int, str]:
+    return mapping[event.qubit], event.name
+
+
+def _run_state(compact: _CompactProgram,
+               error_plan: Optional[List[List[Tuple[int, str]]]]
+               ) -> StateVector:
+    """Execute the gate list; apply planned Pauli events after each gate."""
+    state = StateVector(compact.n_qubits)
+    for i, gate in enumerate(compact.gates):
+        if gate.name == "barrier" or gate.is_measure:
+            pass
+        else:
+            dense = tuple(compact.hw_to_dense[q] for q in gate.qubits)
+            state.apply_gate(gate.name, dense, param=gate.param)
+        if error_plan is not None:
+            for dense_q, pauli in error_plan[i]:
+                state.apply_gate(pauli, (dense_q,))
+    return state
+
+
+def _ideal_distribution(compact: _CompactProgram) -> Dict[str, float]:
+    """Noise-free distribution over classical strings."""
+    state = _run_state(compact, None)
+    probs = state.probabilities()
+    out: Dict[str, float] = {}
+    n = compact.n_qubits
+    for index, p in enumerate(probs):
+        if p < 1e-12:
+            continue
+        bits = [(index >> (n - 1 - q)) & 1 for q in range(n)]
+        string = _classical_string(compact, bits)
+        out[string] = out.get(string, 0.0) + float(p)
+    return out
+
+
+def _classical_string(compact: _CompactProgram, bits: Sequence[int]) -> str:
+    chars = ["0"] * compact.n_cbits
+    for _, dense, cbit in compact.measures:
+        chars[cbit] = str(bits[dense])
+    return "".join(chars)
+
+
+def execute(compiled: CompiledProgram, calibration: Calibration,
+            trials: int = 1024, seed: int = 0,
+            expected: Optional[str] = None,
+            noise_model: Optional[NoiseModel] = None) -> ExecutionResult:
+    """Run *compiled* for *trials* shots on the noisy simulator.
+
+    Args:
+        compiled: Output of :func:`repro.compiler.compile_circuit`.
+        calibration: The machine snapshot to execute under (normally the
+            one the program was compiled against; pass a different day's
+            snapshot to model stale-calibration compilation).
+        trials: Shot count (the paper uses 8192).
+        seed: Master RNG seed; results are reproducible.
+        expected: The benchmark's known answer string.
+        noise_model: Override the default all-mechanisms model.
+
+    Returns:
+        Counts plus success-rate/overlap accessors.
+    """
+    if trials < 1:
+        raise SimulationError("need at least one trial")
+    noise = noise_model or NoiseModel(calibration)
+    compact = _CompactProgram(compiled.physical.circuit,
+                              compiled.physical.times,
+                              topology=calibration.topology)
+    rng = np.random.default_rng(seed)
+    ideal = _ideal_distribution(compact)
+    ideal_outcomes = sorted(ideal)
+    ideal_probs = np.array([ideal[o] for o in ideal_outcomes])
+    ideal_probs = ideal_probs / ideal_probs.sum()
+
+    counts: Dict[str, int] = {}
+    for _ in range(trials):
+        plan, any_error = _sample_error_plan(compact, noise, rng)
+        if not any_error:
+            outcome = ideal_outcomes[
+                int(rng.choice(len(ideal_outcomes), p=ideal_probs))]
+        else:
+            state = _run_state(compact, plan)
+            bits = state.sample(rng)
+            outcome = _classical_string(compact, bits)
+        # Readout flips are sampled against the true measured bit so the
+        # calibration's readout asymmetry is honored.
+        chars = list(outcome)
+        for hw, _, cbit in compact.measures:
+            if noise.sample_readout_flip(hw, rng, bit=int(chars[cbit])):
+                chars[cbit] = "1" if chars[cbit] == "0" else "0"
+        outcome = "".join(chars)
+        counts[outcome] = counts.get(outcome, 0) + 1
+
+    return ExecutionResult(counts=counts, trials=trials, expected=expected,
+                           ideal_distribution=ideal)
+
+
+def _sample_error_plan(compact: _CompactProgram, noise: NoiseModel,
+                       rng: np.random.Generator
+                       ) -> Tuple[List[List[Tuple[int, str]]], bool]:
+    """Sample gate + idle Pauli events for one trial."""
+    plan: List[List[Tuple[int, str]]] = []
+    any_error = False
+    for i, (gate, gaps) in enumerate(zip(compact.gates,
+                                         compact.idle_before)):
+        events: List[Tuple[int, str]] = []
+        for qubit, idle in gaps:
+            for ev in noise.sample_idle_error(qubit, idle, rng):
+                events.append(_dense_event(ev, compact.hw_to_dense))
+        for ev in noise.sample_gate_error(
+                gate, rng,
+                concurrent_neighbors=compact.concurrent_neighbors[i]):
+            events.append(_dense_event(ev, compact.hw_to_dense))
+        if events:
+            any_error = True
+        plan.append(events)
+    return plan, any_error

@@ -1,0 +1,42 @@
+"""Success metrics for noisy executions.
+
+The paper's metric is the fraction of trials returning the correct
+answer; :func:`distribution_overlap` generalizes it to benchmarks with
+non-deterministic ideal outputs (the two coincide for deterministic
+programs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.exceptions import SimulationError
+
+
+def success_rate(counts: Mapping[str, int], expected: str) -> float:
+    """Fraction of trials measuring *expected*."""
+    total = sum(counts.values())
+    if total == 0:
+        raise SimulationError("no trials recorded")
+    return counts.get(expected, 0) / total
+
+
+def empirical_distribution(counts: Mapping[str, int]) -> Dict[str, float]:
+    """Normalize counts into a probability distribution."""
+    total = sum(counts.values())
+    if total == 0:
+        raise SimulationError("no trials recorded")
+    return {o: c / total for o, c in counts.items()}
+
+
+def distribution_overlap(ideal: Mapping[str, float],
+                         measured: Mapping[str, float]) -> float:
+    """``sum_o min(p_ideal(o), p_measured(o))`` in [0, 1]."""
+    return sum(min(p, measured.get(o, 0.0)) for o, p in ideal.items())
+
+
+def total_variation_distance(p: Mapping[str, float],
+                             q: Mapping[str, float]) -> float:
+    """TVD = 1/2 sum |p - q| over the union of supports."""
+    support = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(o, 0.0) - q.get(o, 0.0)) for o in support)

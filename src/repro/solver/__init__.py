@@ -1,0 +1,38 @@
+"""Finite-domain constraint optimization (the repo's SMT-solver substrate)."""
+
+from repro.solver.bnb import BranchAndBoundSolver, SolveResult
+from repro.solver.constraints import (
+    AllDifferent,
+    BinaryPredicate,
+    LinearLE,
+    TableConstraint,
+    UnaryPredicate,
+)
+from repro.solver.model import Assignment, Constraint, Model, Objective, Variable
+from repro.solver.objective import (
+    CallableObjective,
+    PairTerm,
+    SumObjective,
+    Term,
+    UnaryTerm,
+)
+
+__all__ = [
+    "AllDifferent",
+    "Assignment",
+    "BinaryPredicate",
+    "BranchAndBoundSolver",
+    "CallableObjective",
+    "Constraint",
+    "LinearLE",
+    "Model",
+    "Objective",
+    "PairTerm",
+    "SolveResult",
+    "SumObjective",
+    "TableConstraint",
+    "Term",
+    "UnaryPredicate",
+    "UnaryTerm",
+    "Variable",
+]

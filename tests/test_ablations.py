@@ -1,0 +1,46 @@
+"""Tests for the ablation-study harnesses."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_convention_ablation,
+    run_omega_sweep,
+    run_peephole_ablation,
+)
+
+
+class TestOmegaSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_omega_sweep(benchmarks=("BV4",), omegas=(0.0, 0.5, 1.0),
+                               trials=128)
+
+    def test_grid_covered(self, result):
+        assert result.omegas == [0.0, 0.5, 1.0]
+        assert set(result.success["BV4"]) == {0.0, 0.5, 1.0}
+
+    def test_best_omega_in_grid(self, result):
+        assert result.best_omega("BV4") in (0.0, 0.5, 1.0)
+
+    def test_to_text(self, result):
+        assert "w=0.5" in result.to_text()
+
+
+class TestPeepholeAblation:
+    def test_rows_and_monotonicity(self):
+        result = run_peephole_ablation(trials=128,
+                                       subset=["BV4", "Toffoli"])
+        assert len(result.rows) == 2
+        for name, before, after, _, _ in result.rows:
+            assert after <= before
+        assert "peephole" in result.to_text()
+
+
+class TestConventionAblation:
+    def test_round_trip_bounded_by_one_way(self):
+        result = run_convention_ablation(trials=128, subset=["BV4", "Or"])
+        for name, one_way, round_trip, measured in result.rows:
+            assert round_trip <= one_way + 1e-12
+            assert 0.0 <= measured <= 1.0
+        assert result.mean_abs_error("one-way") >= 0.0
+        assert "measured" in result.to_text()

@@ -1,0 +1,149 @@
+"""Tests for device presets and the command-line interface."""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import TopologyError
+from repro.hardware import (
+    device_calibration,
+    device_topology,
+    ibmq5_topology,
+    ibmq20_topology,
+    linear_topology,
+)
+
+
+class TestDevices:
+    def test_registry_lookup(self):
+        assert device_topology("ibmq16").n_qubits == 16
+        assert device_topology("IBMQ20").n_qubits == 20
+        assert device_topology("ibmq5").n_qubits == 5
+
+    def test_unknown_device(self):
+        with pytest.raises(TopologyError):
+            device_topology("quantum-toaster")
+
+    def test_linear_topology_is_a_chain(self):
+        topo = linear_topology(6)
+        assert topo.n_qubits == 6
+        assert len(topo.edges()) == 5
+        assert topo.neighbors(0) == [1]
+        assert topo.neighbors(3) == [2, 4]
+
+    def test_linear_rejects_zero(self):
+        with pytest.raises(TopologyError):
+            linear_topology(0)
+
+    def test_presets_shape(self):
+        assert (ibmq5_topology().mx, ibmq5_topology().my) == (5, 1)
+        assert (ibmq20_topology().mx, ibmq20_topology().my) == (5, 4)
+
+    def test_device_calibration(self):
+        cal = device_calibration("ibmq20", day=2)
+        assert cal.topology.n_qubits == 20
+        assert cal.label == "day2"
+
+    def test_compile_on_linear_device(self):
+        """All variants work on the ion-trap-style chain."""
+        from repro.compiler import CompilerOptions, compile_circuit
+        from repro.hardware import CalibrationGenerator
+        from repro.programs import build_benchmark
+
+        cal = CalibrationGenerator(linear_topology(8), seed=4).snapshot(0)
+        program = compile_circuit(build_benchmark("Toffoli"), cal,
+                                  CompilerOptions.r_smt_star())
+        assert len(program.placement) == 3
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_benchmarks_listing(self):
+        code, text = self.run_cli("benchmarks")
+        assert code == 0
+        assert "BV4" in text and "Adder" in text
+
+    def test_calibration_summary(self):
+        code, text = self.run_cli("calibration", "--device", "ibmq16",
+                                  "--day", "1")
+        assert code == 0
+        assert "mean CNOT error" in text
+
+    def test_calibration_json_output(self, tmp_path):
+        out_file = tmp_path / "cal.json"
+        code, _ = self.run_cli("calibration", "--output", str(out_file))
+        assert code == 0
+        data = json.loads(out_file.read_text())
+        assert len(data["qubits"]) == 16
+
+    def test_compile_benchmark_to_stdout(self):
+        code, text = self.run_cli("compile", "--benchmark", "BV4",
+                                  "--variant", "greedye*")
+        assert code == 0
+        assert text.startswith("OPENQASM 2.0;")
+
+    def test_compile_with_verification(self, tmp_path):
+        out_file = tmp_path / "bv4.qasm"
+        code, _ = self.run_cli("compile", "--benchmark", "BV4",
+                               "--variant", "r-smt*", "--verify",
+                               "--output", str(out_file))
+        assert code == 0
+        assert out_file.read_text().startswith("OPENQASM 2.0;")
+
+    def test_compile_scaffir_file(self, tmp_path):
+        src = tmp_path / "prog.scaffir"
+        src.write_text("qubits 2\ncbits 2\nh q0\ncx q0, q1\n"
+                       "measure q0 -> c0\nmeasure q1 -> c1\n")
+        code, text = self.run_cli("compile", "--scaffir", str(src),
+                                  "--variant", "greedyv*")
+        assert code == 0
+        assert "cx" in text
+
+    def test_compile_qasm_file(self, tmp_path):
+        src = tmp_path / "prog.qasm"
+        src.write_text("OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\n"
+                       "h q[0];\ncx q[0], q[1];\n"
+                       "measure q[0] -> c[0];\n")
+        code, text = self.run_cli("compile", "--qasm", str(src))
+        assert code == 0
+        assert "measure" in text
+
+    def test_run_benchmark(self):
+        code, text = self.run_cli("run", "--benchmark", "BV4",
+                                  "--variant", "greedye*",
+                                  "--trials", "128")
+        assert code == 0
+        assert "success rate:" in text
+
+    def test_run_with_peephole(self):
+        code, text = self.run_cli("run", "--benchmark", "Toffoli",
+                                  "--variant", "qiskit", "--peephole",
+                                  "--trials", "128")
+        assert code == 0
+        assert "success rate:" in text
+
+    def test_experiment_table2(self):
+        code, text = self.run_cli("experiment", "table2")
+        assert code == 0
+        assert "BV4" in text
+
+    def test_experiment_fig1(self):
+        code, text = self.run_cli("experiment", "fig1", "--days", "3")
+        assert code == 0
+        assert "T2" in text
+
+    def test_experiment_fig8(self):
+        code, text = self.run_cli("experiment", "fig8")
+        assert code == 0
+        assert "est.reliability" in text
+
+    def test_unknown_device_is_an_error(self):
+        code, _ = self.run_cli("calibration", "--device", "toaster")
+        assert code == 1

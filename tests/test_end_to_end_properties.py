@@ -1,0 +1,94 @@
+"""End-to-end property tests: random programs, random machines, every
+compiler variant — the compiled artifact must always verify.
+
+This is the repository's strongest invariant: for ANY program that fits
+the machine and ANY calibration, every variant must emit a physical
+program that (a) respects the coupling map, (b) keeps measurements
+terminal, (c) has serialized per-qubit timing, and (d) is semantically
+equivalent to the logical program.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompilerOptions, compile_circuit, verify_compiled
+from repro.hardware import CalibrationGenerator, GridTopology, ReliabilityTables
+from repro.programs import random_circuit
+
+VARIANTS = [CompilerOptions.qiskit(), CompilerOptions.t_smt(),
+            CompilerOptions.t_smt_star(), CompilerOptions.r_smt_star(),
+            CompilerOptions.greedy_e(), CompilerOptions.greedy_v()]
+
+# Small solver budgets keep the property run fast; results need not be
+# optimal to be *valid*.
+VARIANTS = [o.with_(solver_time_limit=3.0) for o in VARIANTS]
+
+
+@st.composite
+def compilation_cases(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_qubits = draw(st.integers(2, 5))
+    n_gates = draw(st.integers(1, 25))
+    mx = draw(st.integers(2, 4))
+    my = draw(st.integers(2, 3))
+    day = draw(st.integers(0, 3))
+    if mx * my < n_qubits:
+        n_qubits = mx * my
+    variant = draw(st.integers(0, len(VARIANTS) - 1))
+    return seed, n_qubits, n_gates, mx, my, day, variant
+
+
+class TestCompileAlwaysVerifies:
+    @given(case=compilation_cases())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_program_random_machine_random_variant(self, case):
+        seed, n_qubits, n_gates, mx, my, day, variant = case
+        if n_qubits < 2:
+            return
+        circuit = random_circuit(n_qubits, n_gates, seed=seed)
+        topo = GridTopology(mx, my)
+        cal = CalibrationGenerator(topo, seed=seed % 17).snapshot(day)
+        program = compile_circuit(circuit, cal, VARIANTS[variant])
+        report = verify_compiled(program, cal)
+        assert report.ok, (case, report.errors)
+
+    @given(case=compilation_cases())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_peephole_never_breaks_verification(self, case):
+        seed, n_qubits, n_gates, mx, my, day, variant = case
+        circuit = random_circuit(n_qubits, n_gates, seed=seed)
+        topo = GridTopology(mx, my)
+        cal = CalibrationGenerator(topo, seed=seed % 17).snapshot(day)
+        options = VARIANTS[variant].with_(peephole=True)
+        program = compile_circuit(circuit, cal, options)
+        report = verify_compiled(program, cal)
+        assert report.ok, (case, report.errors)
+
+
+class TestEstimatesAreConsistent:
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_reliability_estimate_in_unit_interval(self, seed):
+        circuit = random_circuit(4, 20, seed=seed)
+        cal = CalibrationGenerator(GridTopology(4, 2),
+                                   seed=seed % 13).snapshot(0)
+        program = compile_circuit(circuit, cal, CompilerOptions.greedy_e())
+        est = program.reliability
+        assert 0.0 < est.score <= 1.0
+        assert 0.0 < est.round_trip_score <= est.score + 1e-12
+        assert program.duration >= 0
+        assert program.swap_count >= 0
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=10, deadline=None)
+    def test_qasm_roundtrip_for_any_compilation(self, seed):
+        from repro.ir.qasm import qasm_to_circuit
+        circuit = random_circuit(3, 15, seed=seed)
+        cal = CalibrationGenerator(GridTopology(3, 2),
+                                   seed=1).snapshot(0)
+        program = compile_circuit(circuit, cal, CompilerOptions.greedy_v())
+        back = qasm_to_circuit(program.qasm())
+        assert len(back) == len(program.physical.circuit)

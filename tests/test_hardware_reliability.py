@@ -1,0 +1,141 @@
+"""Tests for routing cost tables (EC/Delta matrices, best paths)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.hardware.calibration import uniform_calibration
+from repro.hardware.calibration_gen import default_ibmq16_calibration
+from repro.hardware.reliability import ReliabilityTables, route_cost
+from repro.hardware.topology import ibmq16_topology
+
+
+@pytest.fixture(scope="module")
+def cal():
+    return default_ibmq16_calibration()
+
+
+@pytest.fixture(scope="module")
+def tables(cal):
+    return ReliabilityTables(cal)
+
+
+class TestRouteCost:
+    def test_adjacent_cnot(self, cal):
+        cost = route_cost(cal, [0, 1])
+        assert cost.n_swaps == 0
+        assert cost.reliability == pytest.approx(cal.cnot_reliability(0, 1))
+        assert cost.duration == pytest.approx(cal.cnot_duration(0, 1))
+
+    def test_one_swap_path(self, cal):
+        cost = route_cost(cal, [0, 1, 2])
+        expected_rel = cal.swap_reliability(0, 1) * cal.cnot_reliability(1, 2)
+        assert cost.n_swaps == 1
+        assert cost.reliability == pytest.approx(expected_rel)
+        expected_dur = 2 * cal.swap_duration(0, 1) + cal.cnot_duration(1, 2)
+        assert cost.duration == pytest.approx(expected_dur)
+
+    def test_round_trip_charges_swaps_twice(self, cal):
+        cost = route_cost(cal, [0, 1, 2])
+        assert cost.round_trip_reliability == pytest.approx(
+            cal.swap_reliability(0, 1) ** 2 * cal.cnot_reliability(1, 2))
+
+    def test_paper_footnote3_example(self):
+        """0.9^3 swap x 0.9 CNOT = 0.656 overall (paper footnote 3)."""
+        cal = uniform_calibration(ibmq16_topology(), cnot_error=0.1)
+        cost = route_cost(cal, [0, 1, 2])
+        assert cost.reliability == pytest.approx(0.9 ** 4)
+
+    def test_non_adjacent_step_rejected(self, cal):
+        with pytest.raises(TopologyError):
+            route_cost(cal, [0, 2])
+
+    def test_short_path_rejected(self, cal):
+        with pytest.raises(TopologyError):
+            route_cost(cal, [0])
+
+
+class TestOneBendTables:
+    def test_adjacent_pair_both_junctions_equal(self, tables, cal):
+        a = tables.one_bend(0, 1, 0)
+        assert a.path == (0, 1)
+
+    def test_best_one_bend_picks_max_reliability(self, tables):
+        best = tables.best_one_bend(0, 10)
+        r0 = tables.one_bend(0, 10, 0).reliability
+        r1 = tables.one_bend(0, 10, 1).reliability
+        assert best.reliability == pytest.approx(max(r0, r1))
+
+    def test_delta_picks_min_duration(self, tables):
+        d0 = tables.one_bend(0, 10, 0).duration
+        d1 = tables.one_bend(0, 10, 1).duration
+        assert tables.delta(0, 10) == pytest.approx(min(d0, d1))
+
+    def test_same_qubit_rejected(self, tables):
+        with pytest.raises(TopologyError):
+            tables.best_one_bend(3, 3)
+        with pytest.raises(TopologyError):
+            tables.delta(3, 3)
+
+    def test_log_reliability_negative(self, tables):
+        assert tables.log_reliability(0, 10) < 0.0
+
+    @given(a=st.integers(0, 15), b=st.integers(0, 15))
+    @settings(max_examples=50, deadline=None)
+    def test_reliability_in_unit_interval(self, tables, a, b):
+        if a == b:
+            return
+        cost = tables.best_one_bend(a, b)
+        assert 0.0 < cost.reliability <= 1.0
+        assert cost.round_trip_reliability <= cost.reliability + 1e-12
+
+
+class TestBestPaths:
+    def test_best_path_cost_consistent_with_route_cost(self, tables, cal):
+        """The table's cost equals re-evaluating its own path."""
+        for a, b in [(0, 10), (3, 12), (0, 15), (7, 8)]:
+            cost = tables.best_path(a, b)
+            recomputed = route_cost(cal, list(cost.path))
+            assert cost.reliability == pytest.approx(recomputed.reliability)
+            assert cost.duration == pytest.approx(recomputed.duration)
+
+    def test_best_path_endpoints(self, tables):
+        cost = tables.best_path(0, 15)
+        assert cost.path[0] == 0 and cost.path[-1] == 15
+
+    def test_best_path_adjacent_is_direct(self, tables, cal):
+        # With uniform data the direct edge is optimal; with real data a
+        # detour could beat a terrible edge, so check with uniform.
+        uni = ReliabilityTables(uniform_calibration(ibmq16_topology()))
+        assert uni.best_path(0, 1).path == (0, 1)
+
+    def test_uniform_duration_formula(self, tables):
+        # distance 3 -> 2*(3-1) swaps * 3tau + tau = 12tau + tau
+        assert tables.uniform_duration(0, 3, tau_cnot=3.0) == \
+            pytest.approx(2 * 2 * 9.0 + 3.0)
+
+    @given(a=st.integers(0, 15), b=st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_best_path_symmetric_under_uniform_errors(self, a, b):
+        """With identical edges the cost model is direction-symmetric."""
+        if a == b:
+            return
+        uni = ReliabilityTables(uniform_calibration(ibmq16_topology()))
+        fwd = uni.best_path(a, b)
+        rev = uni.best_path(b, a)
+        assert fwd.reliability == pytest.approx(rev.reliability)
+        assert fwd.duration == pytest.approx(rev.duration)
+
+    @given(a=st.integers(0, 15), b=st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_best_path_valid_chain(self, tables, cal, a, b):
+        """Best paths are simple chains of coupling edges."""
+        if a == b:
+            return
+        path = tables.best_path(a, b).path
+        assert len(set(path)) == len(path)
+        for u, v in zip(path, path[1:]):
+            assert cal.topology.is_adjacent(u, v)

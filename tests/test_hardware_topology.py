@@ -1,0 +1,134 @@
+"""Unit tests for repro.hardware.topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.hardware.topology import (
+    GridTopology,
+    edge_key,
+    ibmq16_topology,
+    square_topology,
+)
+
+
+class TestGridBasics:
+    def test_ibmq16_dimensions(self):
+        topo = ibmq16_topology()
+        assert topo.n_qubits == 16
+        assert (topo.mx, topo.my) == (8, 2)
+
+    def test_coords_roundtrip(self):
+        topo = GridTopology(5, 3)
+        for q in topo.iter_qubits():
+            x, y = topo.coords(q)
+            assert topo.qubit_at(x, y) == q
+
+    def test_out_of_range_rejected(self):
+        topo = GridTopology(2, 2)
+        with pytest.raises(TopologyError):
+            topo.coords(4)
+        with pytest.raises(TopologyError):
+            topo.qubit_at(2, 0)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(TopologyError):
+            GridTopology(0, 3)
+
+    def test_distance_is_manhattan(self):
+        topo = ibmq16_topology()
+        assert topo.distance(0, 1) == 1
+        assert topo.distance(0, 8) == 1   # vertical neighbor
+        assert topo.distance(0, 15) == 8  # corner to corner
+
+    def test_neighbors_interior_and_corner(self):
+        topo = ibmq16_topology()
+        assert topo.neighbors(0) == [1, 8]
+        assert topo.neighbors(1) == [0, 2, 9]
+
+    def test_edge_count_2x8(self):
+        # 2 rows x 7 horizontal + 8 vertical rungs = 22 edges.
+        assert len(ibmq16_topology().edges()) == 22
+
+    def test_edges_canonical_and_adjacent(self):
+        topo = GridTopology(4, 4)
+        for a, b in topo.edges():
+            assert a < b
+            assert topo.is_adjacent(a, b)
+
+    def test_edge_key(self):
+        assert edge_key(5, 2) == (2, 5)
+        with pytest.raises(TopologyError):
+            edge_key(3, 3)
+
+
+class TestOneBendPaths:
+    def test_straight_line_single_path(self):
+        topo = ibmq16_topology()
+        j0, j1 = topo.one_bend_junctions(0, 3)
+        assert j0 == 3 and j1 == 0  # degenerate corners
+        assert topo.one_bend_path(0, 3, 0) == [0, 1, 2, 3]
+
+    def test_l_paths_differ(self):
+        topo = ibmq16_topology()
+        p0 = topo.one_bend_path(0, 10, 0)
+        p1 = topo.one_bend_path(0, 10, 1)
+        assert p0 == [0, 1, 2, 10]
+        assert p1 == [0, 8, 9, 10]
+
+    def test_path_endpoints(self):
+        topo = GridTopology(4, 4)
+        for junction in (0, 1):
+            path = topo.one_bend_path(0, 15, junction)
+            assert path[0] == 0 and path[-1] == 15
+
+    def test_path_steps_are_adjacent(self):
+        topo = GridTopology(5, 4)
+        path = topo.one_bend_path(0, 18, 1)
+        for a, b in zip(path, path[1:]):
+            assert topo.is_adjacent(a, b)
+
+    def test_invalid_junction_rejected(self):
+        with pytest.raises(TopologyError):
+            ibmq16_topology().one_bend_path(0, 5, 2)
+
+    def test_bounding_rectangle(self):
+        topo = ibmq16_topology()
+        rect = topo.bounding_rectangle(0, 10)
+        assert sorted(rect) == [0, 1, 2, 8, 9, 10]
+
+    @given(a=st.integers(0, 15), b=st.integers(0, 15))
+    @settings(max_examples=60, deadline=None)
+    def test_one_bend_length_equals_distance(self, a, b):
+        topo = ibmq16_topology()
+        if a == b:
+            return
+        for junction in (0, 1):
+            path = topo.one_bend_path(a, b, junction)
+            assert len(path) == topo.distance(a, b) + 1
+            assert len(set(path)) == len(path)  # simple path
+
+    @given(a=st.integers(0, 15), b=st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_paths_stay_in_bounding_rectangle(self, a, b):
+        topo = ibmq16_topology()
+        if a == b:
+            return
+        rect = set(topo.bounding_rectangle(a, b))
+        for junction in (0, 1):
+            assert set(topo.one_bend_path(a, b, junction)) <= rect
+
+
+class TestSquareTopology:
+    @pytest.mark.parametrize("n,expected", [(1, (1, 1)), (4, (2, 2)),
+                                            (16, (4, 4)), (17, (5, 4)),
+                                            (32, (6, 6)), (128, (12, 11))])
+    def test_capacity(self, n, expected):
+        topo = square_topology(n)
+        assert topo.n_qubits >= n
+        assert (topo.mx, topo.my) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(TopologyError):
+            square_topology(0)

@@ -1,0 +1,136 @@
+"""Unit tests for repro.ir.circuit."""
+
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Gate
+
+
+def small_circuit():
+    c = Circuit(3, name="test")
+    c.h(0).cx(0, 1).cx(1, 2).t(2).measure_all()
+    return c
+
+
+class TestConstruction:
+    def test_default_cbits_match_qubits(self):
+        assert Circuit(4).n_cbits == 4
+
+    def test_explicit_cbits(self):
+        assert Circuit(4, 2).n_cbits == 2
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_negative_cbits_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(2, -1)
+
+    def test_builder_chaining(self):
+        c = Circuit(2).h(0).cx(0, 1).measure(0).measure(1)
+        assert len(c) == 4
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).h(2)
+
+    def test_out_of_range_cbit_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(2, 1).measure(1, cbit=1)
+
+    def test_measure_all_requires_room(self):
+        with pytest.raises(CircuitError):
+            Circuit(3, 2).measure_all()
+
+    def test_barrier_defaults_to_all_qubits(self):
+        c = Circuit(3).barrier()
+        assert c[0].qubits == (0, 1, 2)
+
+    def test_equality(self):
+        assert small_circuit() == small_circuit()
+        other = small_circuit()
+        other.x(0)
+        assert small_circuit() != other
+
+
+class TestStatistics:
+    def test_count_ops(self):
+        counts = small_circuit().count_ops()
+        assert counts["cx"] == 2
+        assert counts["measure"] == 3
+
+    def test_gate_count_excludes_barriers(self):
+        c = Circuit(2).h(0).barrier().x(1)
+        assert c.gate_count() == 2
+        assert c.gate_count(include_barriers=True) == 3
+
+    def test_cnot_count(self):
+        assert small_circuit().cnot_count() == 2
+
+    def test_used_qubits(self):
+        c = Circuit(5).h(1).cx(1, 3)
+        assert c.used_qubits() == [1, 3]
+
+    def test_interaction_graph_weights(self):
+        c = Circuit(3).cx(0, 1).cx(1, 0).cx(1, 2)
+        graph = c.interaction_graph()
+        assert graph == {(0, 1): 2, (1, 2): 1}
+
+    def test_qubit_degrees(self):
+        c = Circuit(3).cx(0, 1).cx(1, 2)
+        assert c.qubit_degrees() == {0: 1, 1: 2, 2: 1}
+
+    def test_depth_linear_chain(self):
+        c = Circuit(2).h(0).h(0).h(0)
+        assert c.depth() == 3
+
+    def test_depth_parallel_gates(self):
+        c = Circuit(2).h(0).h(1)
+        assert c.depth() == 1
+
+    def test_depth_with_cnot(self):
+        c = Circuit(2).h(0).cx(0, 1).x(1)
+        assert c.depth() == 3
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        a = small_circuit()
+        b = a.copy()
+        b.x(0)
+        assert len(b) == len(a) + 1
+
+    def test_inverse_reverses_and_inverts(self):
+        c = Circuit(2).h(0).s(0).cx(0, 1)
+        inv = c.inverse()
+        names = [g.name for g in inv]
+        assert names == ["cx", "sdg", "h"]
+
+    def test_inverse_rejects_measure(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).measure(0).inverse()
+
+    def test_without_measurements(self):
+        c = small_circuit().without_measurements()
+        assert all(not g.is_measure for g in c)
+        assert c.cnot_count() == 2
+
+    def test_remap_qubits(self):
+        c = Circuit(2).cx(0, 1).remap_qubits({0: 4, 1: 2}, n_qubits=6)
+        assert c[0].qubits == (4, 2)
+        assert c.n_qubits == 6
+
+    def test_roundtrip_unitary_identity(self):
+        """circuit + inverse = identity on the statevector."""
+        from repro.simulator import StateVector
+
+        c = Circuit(2).h(0).t(0).cx(0, 1).s(1)
+        full = c.copy()
+        full.extend(c.inverse().gates)
+        state = StateVector(2)
+        for g in full:
+            state.apply_gate(g.name, g.qubits, param=g.param)
+        probs = state.probabilities()
+        assert probs[0] == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,100 @@
+"""Unit tests for repro.ir.dag."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.circuit import Circuit
+from repro.ir.dag import DependencyDAG
+from repro.programs import random_circuit
+
+
+class TestDependencyDAG:
+    def test_chain_dependencies(self):
+        c = Circuit(1).h(0).x(0).z(0)
+        dag = DependencyDAG.from_circuit(c)
+        assert dag.preds == [set(), {0}, {1}]
+        assert dag.succs == [{1}, {2}, set()]
+
+    def test_independent_gates_have_no_edges(self):
+        c = Circuit(2).h(0).h(1)
+        dag = DependencyDAG.from_circuit(c)
+        assert dag.preds == [set(), set()]
+
+    def test_cnot_joins_chains(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1)
+        dag = DependencyDAG.from_circuit(c)
+        assert dag.preds[2] == {0, 1}
+
+    def test_roots(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1)
+        assert DependencyDAG.from_circuit(c).roots() == [0, 1]
+
+    def test_program_order_is_topological(self):
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2).measure_all()
+        dag = DependencyDAG.from_circuit(c)
+        assert dag.is_topological(dag.topological_order())
+
+    def test_non_topological_detected(self):
+        c = Circuit(1).h(0).x(0)
+        dag = DependencyDAG.from_circuit(c)
+        assert not dag.is_topological([1, 0])
+
+    def test_longest_path_unit_weights(self):
+        c = Circuit(2).h(0).cx(0, 1).x(1)
+        dag = DependencyDAG.from_circuit(c)
+        assert dag.longest_path_length([1.0, 1.0, 1.0]) == pytest.approx(3.0)
+
+    def test_longest_path_parallel(self):
+        c = Circuit(2).h(0).h(1)
+        dag = DependencyDAG.from_circuit(c)
+        assert dag.longest_path_length([2.0, 5.0]) == pytest.approx(5.0)
+
+    def test_longest_path_wrong_length_rejected(self):
+        c = Circuit(1).h(0)
+        dag = DependencyDAG.from_circuit(c)
+        with pytest.raises(Exception):
+            dag.longest_path_length([1.0, 1.0])
+
+    def test_asap_levels(self):
+        c = Circuit(2).h(0).cx(0, 1).x(1)
+        assert DependencyDAG.from_circuit(c).asap_levels() == [0, 1, 2]
+
+    def test_dependency_pairs(self):
+        c = Circuit(1).h(0).x(0)
+        assert DependencyDAG.from_circuit(c).dependency_pairs() == [(0, 1)]
+
+
+class TestDagProperties:
+    @given(seed=st.integers(0, 10_000), n_qubits=st.integers(2, 6),
+           n_gates=st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_random_circuit_dag_invariants(self, seed, n_qubits, n_gates):
+        circuit = random_circuit(n_qubits, n_gates, seed=seed)
+        dag = DependencyDAG.from_circuit(circuit)
+        # Edges always point forward in program order.
+        for i, preds in enumerate(dag.preds):
+            assert all(p < i for p in preds)
+        # preds/succs are mutually consistent.
+        for i, preds in enumerate(dag.preds):
+            for p in preds:
+                assert i in dag.succs[p]
+        # Critical path with unit weights is between 1 and gate count.
+        n = len(dag)
+        if n:
+            length = dag.longest_path_length([1.0] * n)
+            assert 1.0 <= length <= n
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_gates_on_same_qubit_are_ordered(self, seed):
+        circuit = random_circuit(3, 25, seed=seed)
+        dag = DependencyDAG.from_circuit(circuit)
+        # Any two gates sharing a qubit must be connected by a directed
+        # path (transitively) — check the immediate-chain construction:
+        last = {}
+        for i, gate in enumerate(circuit.gates):
+            for q in gate.qubits:
+                if q in last:
+                    assert last[q] in dag.preds[i]
+                last[q] = i

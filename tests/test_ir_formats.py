@@ -1,0 +1,147 @@
+"""Tests for OpenQASM and ScaffIR emit/parse round-trips."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import QasmError, ScaffIRError
+from repro.ir.circuit import Circuit
+from repro.ir.qasm import circuit_to_qasm, qasm_to_circuit
+from repro.ir.scaffir import emit_scaffir, parse_scaffir
+from repro.programs import build_benchmark, random_circuit
+
+
+class TestQasmEmission:
+    def test_header_and_registers(self):
+        text = circuit_to_qasm(Circuit(3, 2))
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "creg c[2];" in text
+
+    def test_gate_lines(self):
+        c = Circuit(2).h(0).cx(0, 1).measure(1, cbit=0)
+        text = circuit_to_qasm(c)
+        assert "h q[0];" in text
+        assert "cx q[0], q[1];" in text
+        assert "measure q[1] -> c[0];" in text
+
+    def test_parametric_gate_roundtrips_exactly(self):
+        c = Circuit(1, 1).rz(math.pi / 7, 0)
+        back = qasm_to_circuit(circuit_to_qasm(c))
+        assert back[0].param == pytest.approx(math.pi / 7)
+
+
+class TestQasmParsing:
+    def test_parse_simple_program(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[2];
+        creg c[2];
+        h q[0];
+        cx q[0], q[1];
+        measure q[0] -> c[0];
+        """
+        c = qasm_to_circuit(text)
+        assert c.n_qubits == 2
+        assert [g.name for g in c] == ["h", "cx", "measure"]
+
+    def test_comments_stripped(self):
+        text = "qreg q[1];\nh q[0]; // comment\n"
+        assert len(qasm_to_circuit(text)) == 1
+
+    def test_pi_expression_parsed(self):
+        c = qasm_to_circuit("qreg q[1]; rz(pi/2) q[0];")
+        assert c[0].param == pytest.approx(math.pi / 2)
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            qasm_to_circuit("h q[0];")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QasmError):
+            qasm_to_circuit("qreg q[1]; h r[0];")
+
+    def test_gate_before_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            qasm_to_circuit('OPENQASM 2.0; h q[0]; qreg q[1];')
+
+    def test_evil_parameter_rejected(self):
+        with pytest.raises(QasmError):
+            qasm_to_circuit('qreg q[1]; rz(__import__("os")) q[0];')
+
+    def test_multiple_qregs_rejected(self):
+        with pytest.raises(QasmError):
+            qasm_to_circuit("qreg a[1]; qreg b[1];")
+
+    @given(seed=st.integers(0, 5000), n_gates=st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_random_circuits(self, seed, n_gates):
+        original = random_circuit(4, n_gates, seed=seed)
+        back = qasm_to_circuit(circuit_to_qasm(original))
+        assert back.n_qubits == original.n_qubits
+        assert [g.name for g in back] == [g.name for g in original]
+        assert [g.qubits for g in back] == [g.qubits for g in original]
+
+    def test_roundtrip_benchmarks(self):
+        for name in ("BV4", "QFT", "Adder"):
+            original = build_benchmark(name)
+            back = qasm_to_circuit(circuit_to_qasm(original))
+            assert len(back) == len(original)
+
+
+class TestScaffIR:
+    SAMPLE = """
+    // Bernstein-Vazirani on 2+1 qubits
+    qubits 3
+    cbits 2
+    x q2
+    h q0
+    h q1
+    h q2
+    cx q0, q2
+    h q0
+    measure q0 -> c0
+    measure q1 -> c1
+    """
+
+    def test_parse_sample(self):
+        c = parse_scaffir(self.SAMPLE)
+        assert c.n_qubits == 3
+        assert c.n_cbits == 2
+        assert c.cnot_count() == 1
+        assert len(c.measurements) == 2
+
+    def test_missing_qubits_decl_rejected(self):
+        with pytest.raises(ScaffIRError):
+            parse_scaffir("h q0")
+
+    def test_duplicate_qubits_decl_rejected(self):
+        with pytest.raises(ScaffIRError):
+            parse_scaffir("qubits 2\nqubits 3")
+
+    def test_bad_qubit_token_rejected(self):
+        with pytest.raises(ScaffIRError):
+            parse_scaffir("qubits 2\nh qubit0")
+
+    def test_out_of_range_reference_rejected(self):
+        with pytest.raises(ScaffIRError):
+            parse_scaffir("qubits 2\nh q5")
+
+    def test_parametric_gate(self):
+        c = parse_scaffir("qubits 1\nrz(pi/4) q0")
+        assert c[0].param == pytest.approx(math.pi / 4)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_random(self, seed):
+        original = random_circuit(3, 20, seed=seed)
+        back = parse_scaffir(emit_scaffir(original))
+        assert [g for g in back] == [g for g in original]
+
+    def test_emit_contains_declarations(self):
+        text = emit_scaffir(Circuit(2, 2).h(0).measure(0))
+        assert "qubits 2" in text
+        assert "measure q0 -> c0" in text

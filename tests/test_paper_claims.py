@@ -1,0 +1,177 @@
+"""Integration tests tying the reproduction to the paper's key claims.
+
+These run the real pipeline (compile + noisy execution) at moderate
+trial counts and assert the *shape* of each headline result. Absolute
+numbers differ from the paper (our substrate is a simulator with
+synthetic calibration), but directions, orderings, and rough magnitudes
+must hold.
+"""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.experiments import geometric_mean
+from repro.hardware import (
+    CalibrationGenerator,
+    ReliabilityTables,
+    default_ibmq16_calibration,
+    ibmq16_topology,
+)
+from repro.programs import all_benchmarks, build_benchmark, expected_output
+from repro.simulator import execute
+
+TRIALS = 512
+
+
+@pytest.fixture(scope="module")
+def cal():
+    return default_ibmq16_calibration()
+
+
+@pytest.fixture(scope="module")
+def tables(cal):
+    return ReliabilityTables(cal)
+
+
+def run_variant(name, options, cal, tables, trials=TRIALS, seed=7):
+    circuit = build_benchmark(name)
+    program = compile_circuit(circuit, cal, options, tables=tables)
+    result = execute(program, cal, trials=trials, seed=seed,
+                     expected=expected_output(name))
+    return program, result
+
+
+class TestHeadlineClaim:
+    """§1/§7: R-SMT* gives a multi-x geomean success-rate improvement
+    over the Qiskit baseline, with large peaks."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self, cal, tables):
+        out = {}
+        for name, _, _ in [(n, None, None) for n in
+                           ("BV4", "BV8", "HS4", "HS6", "Toffoli",
+                            "Adder")]:
+            _, qiskit = run_variant(name, CompilerOptions.qiskit(),
+                                    cal, tables)
+            _, rsmt = run_variant(name, CompilerOptions.r_smt_star(),
+                                  cal, tables)
+            out[name] = (qiskit.success_rate, rsmt.success_rate)
+        return out
+
+    def test_r_smt_never_loses(self, sweep):
+        for name, (base, ours) in sweep.items():
+            assert ours >= base - 0.05, name
+
+    def test_geomean_improvement_is_multix(self, sweep):
+        ratios = [ours / max(base, 1e-3) for base, ours in sweep.values()]
+        assert geometric_mean(ratios) > 1.5
+
+    def test_peak_improvement_is_large(self, sweep):
+        ratios = [ours / max(base, 1e-3) for base, ours in sweep.values()]
+        assert max(ratios) > 4.0
+
+
+class TestNoiseAdaptationClaim:
+    """§7: R-SMT* >= T-SMT* (reliability objective matters)."""
+
+    @pytest.mark.parametrize("name", ["Toffoli", "Fredkin", "Or", "Adder"])
+    def test_reliability_objective_beats_time_objective(self, name, cal,
+                                                        tables):
+        _, t = run_variant(name, CompilerOptions.t_smt_star(routing="1bp"),
+                           cal, tables)
+        _, r = run_variant(name, CompilerOptions.r_smt_star(), cal, tables)
+        assert r.success_rate >= t.success_rate - 0.05
+
+
+class TestZeroMovementClaim:
+    """§1: zero-movement-mappable programs are substantially more
+    reliable than programs needing even one SWAP."""
+
+    def test_star_benchmarks_map_without_swaps(self, cal, tables):
+        for name in ("BV4", "BV6", "BV8", "HS2", "HS4", "HS6", "QFT",
+                     "Adder"):
+            program = compile_circuit(build_benchmark(name), cal,
+                                      CompilerOptions.r_smt_star(),
+                                      tables=tables)
+            assert program.swap_count == 0, name
+
+    def test_triangle_benchmarks_need_swaps(self, cal, tables):
+        """The 2x8 grid is bipartite: triangles force >= 1 SWAP."""
+        for name in ("Toffoli", "Fredkin", "Or", "Peres"):
+            program = compile_circuit(build_benchmark(name), cal,
+                                      CompilerOptions.r_smt_star(),
+                                      tables=tables)
+            assert program.swap_count >= 1, name
+
+
+class TestCalibrationAwareDurations:
+    """§7.2: real gate times shorten executables (up to 1.68x in the
+    paper); never lengthen them."""
+
+    def test_calibrated_durations_never_longer(self, cal, tables):
+        for name, circuit, _ in all_benchmarks():
+            uniform = compile_circuit(circuit, cal,
+                                      CompilerOptions.t_smt(routing="rr"),
+                                      tables=tables)
+            calibrated = compile_circuit(
+                circuit, cal, CompilerOptions.t_smt_star(routing="rr"),
+                tables=tables)
+            assert calibrated.duration <= uniform.duration + 1e-9, name
+
+
+class TestDailyAdaptationClaim:
+    """Fig. 6: recompiling daily, R-SMT* tracks machine drift at least
+    as well as T-SMT* on most days."""
+
+    def test_three_day_resilience(self):
+        generator = CalibrationGenerator(ibmq16_topology(), seed=2019)
+        wins = 0
+        days = 3
+        for day in range(days):
+            day_cal = generator.snapshot(day)
+            day_tables = ReliabilityTables(day_cal)
+            _, t = run_variant("Toffoli",
+                               CompilerOptions.t_smt_star(routing="1bp"),
+                               day_cal, day_tables, seed=11 + day)
+            _, r = run_variant("Toffoli", CompilerOptions.r_smt_star(),
+                               day_cal, day_tables, seed=11 + day)
+            if r.success_rate >= t.success_rate - 0.03:
+                wins += 1
+        assert wins >= 2
+
+
+class TestHeuristicClaim:
+    """§7.4: GreedyE* is comparable to R-SMT* and scales far better."""
+
+    def test_greedy_success_comparable(self, cal, tables):
+        ratios = []
+        for name in ("BV4", "HS4", "Toffoli", "Adder"):
+            _, r = run_variant(name, CompilerOptions.r_smt_star(),
+                               cal, tables)
+            _, g = run_variant(name, CompilerOptions.greedy_e(),
+                               cal, tables)
+            ratios.append(g.success_rate / max(r.success_rate, 1e-9))
+        assert geometric_mean(ratios) > 0.8
+
+    def test_greedy_compile_time_far_smaller_at_scale(self, cal, tables):
+        from repro.programs import random_circuit
+        circuit = random_circuit(12, 300, seed=1)
+        greedy = compile_circuit(circuit, cal, CompilerOptions.greedy_e(),
+                                 tables=tables)
+        capped = CompilerOptions.r_smt_star().with_(solver_time_limit=2.0)
+        smt = compile_circuit(circuit, cal, capped, tables=tables)
+        assert greedy.compile_time < 1.0
+        assert smt.compile_time > 5 * greedy.compile_time
+
+    def test_greedy_handles_128_qubits(self):
+        """Fig. 11's right edge: 128-qubit random program compiles in
+        well under a second with GreedyE*."""
+        from repro.hardware import CalibrationGenerator, square_topology
+        from repro.programs import random_circuit
+        topo = square_topology(128)
+        big_cal = CalibrationGenerator(topo, seed=0).snapshot(0)
+        circuit = random_circuit(128, 512, seed=0)
+        program = compile_circuit(circuit, big_cal,
+                                  CompilerOptions.greedy_e())
+        assert program.mapping.solve_time < 5.0
+        assert len(program.placement) == 128

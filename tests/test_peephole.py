@@ -1,0 +1,124 @@
+"""Tests for the peephole cancellation pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import (
+    CompilerOptions,
+    cancel_adjacent_inverses,
+    compile_circuit,
+    count_cancellations,
+    verify_compiled,
+)
+from repro.hardware import default_ibmq16_calibration
+from repro.ir.circuit import Circuit
+from repro.programs import build_benchmark, random_circuit
+from repro.simulator import StateVector
+
+
+def statevector_of(circuit: Circuit) -> np.ndarray:
+    state = StateVector(circuit.n_qubits)
+    for g in circuit.gates:
+        if g.is_unitary and g.name != "barrier":
+            state.apply_gate(g.name, g.qubits, param=g.param)
+    return state.amplitudes.reshape(-1)
+
+
+class TestCancellation:
+    def test_hh_cancels(self):
+        c = Circuit(1).h(0).h(0)
+        assert len(cancel_adjacent_inverses(c)) == 0
+
+    def test_cx_pair_cancels(self):
+        c = Circuit(2).cx(0, 1).cx(0, 1)
+        assert len(cancel_adjacent_inverses(c)) == 0
+
+    def test_cx_reversed_does_not_cancel(self):
+        c = Circuit(2).cx(0, 1).cx(1, 0)
+        assert len(cancel_adjacent_inverses(c)) == 2
+
+    def test_s_sdg_cancels(self):
+        c = Circuit(1).s(0).sdg(0).tdg(0).t(0)
+        assert len(cancel_adjacent_inverses(c)) == 0
+
+    def test_rotation_pair_cancels(self):
+        c = Circuit(1).rz(0.7, 0).rz(-0.7, 0)
+        assert len(cancel_adjacent_inverses(c)) == 0
+
+    def test_zero_rotation_removed(self):
+        c = Circuit(1).rz(0.0, 0).x(0)
+        out = cancel_adjacent_inverses(c)
+        assert [g.name for g in out] == ["x"]
+
+    def test_disjoint_gate_does_not_block(self):
+        c = Circuit(2).h(0).x(1).h(0)
+        out = cancel_adjacent_inverses(c)
+        assert [g.name for g in out] == ["x"]
+
+    def test_intervening_gate_blocks(self):
+        c = Circuit(1).h(0).x(0).h(0)
+        assert len(cancel_adjacent_inverses(c)) == 3
+
+    def test_measure_blocks(self):
+        c = Circuit(1, 1).h(0).measure(0).h(0)
+        assert len(cancel_adjacent_inverses(c)) == 3
+
+    def test_cascading_cancellation(self):
+        c = Circuit(1).h(0).x(0).x(0).h(0)
+        assert len(cancel_adjacent_inverses(c)) == 0
+
+    def test_partial_overlap_blocks(self):
+        """cx(0,1) h(1) cx(0,1): the h blocks, nothing cancels."""
+        c = Circuit(2).cx(0, 1).h(1).cx(0, 1)
+        assert len(cancel_adjacent_inverses(c)) == 3
+
+    def test_count_cancellations(self):
+        before = Circuit(1).h(0).h(0).x(0)
+        after = cancel_adjacent_inverses(before)
+        assert count_cancellations(before, after) == 2
+
+    @given(seed=st.integers(0, 400))
+    @settings(max_examples=30, deadline=None)
+    def test_pass_preserves_unitary_action(self, seed):
+        """Property: the optimized circuit implements the same state."""
+        circuit = random_circuit(3, 25, seed=seed, measure=False)
+        optimized = cancel_adjacent_inverses(circuit)
+        assert len(optimized) <= len(circuit)
+        original = statevector_of(circuit)
+        reduced = statevector_of(
+            optimized if len(optimized) else Circuit(3))
+        # Equal up to global phase.
+        overlap = abs(np.vdot(original, reduced))
+        assert overlap == pytest.approx(1.0, abs=1e-9)
+
+
+class TestPeepholeInPipeline:
+    def test_option_reduces_movement_cnots(self):
+        """Consecutive routed CNOTs over the same route leave a
+        swap-back immediately followed by the identical swap-forward;
+        the peephole pass removes both."""
+        cal = default_ibmq16_calibration()
+        circuit = Circuit(4, 4, name="repeat")
+        circuit.cx(0, 3)
+        circuit.t(3)       # on the target; does not block the swaps
+        circuit.cx(0, 3)
+        circuit.measure_all()
+        plain = compile_circuit(circuit, cal, CompilerOptions.qiskit())
+        tidy = compile_circuit(circuit, cal,
+                               CompilerOptions.qiskit().with_(peephole=True))
+        # Trivial placement puts the pair at distance 3: 2 swaps each
+        # way per CNOT; the back-to-back trios (12 CNOTs) cancel.
+        assert plain.physical.circuit.cnot_count() \
+            - tidy.physical.circuit.cnot_count() == 12
+        assert tidy.physical.duration < plain.physical.duration
+
+    def test_peephole_preserves_semantics(self):
+        cal = default_ibmq16_calibration()
+        for bench in ("BV4", "Toffoli", "Adder"):
+            program = compile_circuit(
+                build_benchmark(bench), cal,
+                CompilerOptions.qiskit().with_(peephole=True))
+            report = verify_compiled(program, cal)
+            assert report.ok, (bench, report.errors)

@@ -1,0 +1,95 @@
+"""Tests for the extra (non-deterministic-output) benchmarks."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.exceptions import CircuitError
+from repro.hardware import default_ibmq16_calibration
+from repro.programs.extra import (
+    ghz,
+    ghz_ideal_distribution,
+    ghz_support,
+    w_ideal_distribution,
+    w_state,
+    w_support,
+)
+from repro.simulator import StateVector, execute, ideal_noise_model
+
+
+def outcome_distribution(circuit):
+    state = StateVector(circuit.n_qubits)
+    for g in circuit.gates:
+        if g.is_unitary and g.name != "barrier":
+            state.apply_gate(g.name, g.qubits, param=g.param)
+    probs = state.probabilities()
+    n = circuit.n_qubits
+    out = {}
+    for index, p in enumerate(probs):
+        if p < 1e-12:
+            continue
+        bits = "".join(str((index >> (n - 1 - q)) & 1) for q in range(n))
+        out[bits] = out.get(bits, 0.0) + float(p)
+    return out
+
+
+class TestGhz:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_ideal_distribution(self, n):
+        measured = outcome_distribution(ghz(n))
+        expected = ghz_ideal_distribution(n)
+        assert set(measured) == set(expected)
+        for outcome, p in expected.items():
+            assert measured[outcome] == pytest.approx(p)
+
+    def test_support(self):
+        assert ghz_support(3) == {"000", "111"}
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CircuitError):
+            ghz(1)
+
+    def test_cnot_count(self):
+        assert ghz(5).cnot_count() == 4
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_ideal_distribution(self, n):
+        measured = outcome_distribution(w_state(n))
+        expected = w_ideal_distribution(n)
+        assert set(measured) == set(expected)
+        for outcome, p in expected.items():
+            assert measured[outcome] == pytest.approx(p, abs=1e-9)
+
+    def test_support_is_one_hot(self):
+        assert w_support(3) == {"100", "010", "001"}
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CircuitError):
+            w_state(1)
+
+
+class TestExecutionWithOverlapMetric:
+    def test_ghz_noise_free_overlap_is_one(self):
+        cal = default_ibmq16_calibration()
+        program = compile_circuit(ghz(4), cal, CompilerOptions.r_smt_star())
+        result = execute(program, cal, trials=4096, seed=0,
+                         noise_model=ideal_noise_model(cal))
+        assert result.overlap == pytest.approx(1.0, abs=0.03)
+        assert set(result.ideal_distribution) == ghz_support(4)
+
+    def test_ghz_noisy_overlap_degrades_but_beats_baseline(self):
+        cal = default_ibmq16_calibration()
+        good = compile_circuit(ghz(4), cal, CompilerOptions.r_smt_star())
+        bad = compile_circuit(ghz(4), cal, CompilerOptions.qiskit())
+        r_good = execute(good, cal, trials=1024, seed=1)
+        r_bad = execute(bad, cal, trials=1024, seed=1)
+        assert 0.2 < r_good.overlap < 1.0
+        assert r_good.overlap >= r_bad.overlap - 0.05
+
+    def test_w_state_compiles_and_runs(self):
+        cal = default_ibmq16_calibration()
+        program = compile_circuit(w_state(3), cal,
+                                  CompilerOptions.greedy_e())
+        result = execute(program, cal, trials=512, seed=2)
+        assert 0.2 < result.overlap <= 1.0

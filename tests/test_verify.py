@@ -1,0 +1,121 @@
+"""Tests for the compiled-program verifier."""
+
+import pytest
+
+from repro.compiler import (
+    CompilerOptions,
+    compile_circuit,
+    verify_compiled,
+)
+from repro.exceptions import CompilationError
+from repro.hardware import default_ibmq16_calibration
+from repro.ir.gates import Gate
+from repro.programs import build_benchmark
+
+
+@pytest.fixture(scope="module")
+def cal():
+    return default_ibmq16_calibration()
+
+
+ALL_OPTIONS = [CompilerOptions.qiskit(), CompilerOptions.t_smt(),
+               CompilerOptions.t_smt_star(), CompilerOptions.r_smt_star(),
+               CompilerOptions.greedy_e(), CompilerOptions.greedy_v()]
+
+
+class TestVerifyPasses:
+    @pytest.mark.parametrize("options", ALL_OPTIONS,
+                             ids=[o.variant for o in ALL_OPTIONS])
+    @pytest.mark.parametrize("bench", ["BV4", "HS6", "Fredkin", "Adder"])
+    def test_every_variant_verifies(self, options, bench, cal):
+        program = compile_circuit(build_benchmark(bench), cal, options)
+        report = verify_compiled(program, cal)
+        assert report.ok, report.errors
+        assert "semantic:distribution" in report.checks_run
+
+    def test_raise_if_failed_noop_on_success(self, cal):
+        program = compile_circuit(build_benchmark("BV4"), cal,
+                                  CompilerOptions.r_smt_star())
+        verify_compiled(program, cal).raise_if_failed()
+
+
+class TestVerifyCatchesCorruption:
+    def corrupt(self, cal, mutate):
+        program = compile_circuit(build_benchmark("BV4"), cal,
+                                  CompilerOptions.r_smt_star())
+        mutate(program)
+        return verify_compiled(program, cal)
+
+    def test_detects_non_coupling_cnot(self, cal):
+        def mutate(program):
+            program.physical.circuit._gates.insert(0, Gate("cx", (0, 5)))
+            program.physical.times.insert(0, (0.0, 1.0))
+        report = self.corrupt(cal, mutate)
+        assert not report.ok
+        assert any("coupling" in e for e in report.errors)
+
+    def test_detects_broken_placement(self, cal):
+        def mutate(program):
+            first = next(iter(program.placement))
+            other = [q for q in program.placement if q != first][0]
+            program.placement[first] = program.placement[other]
+        report = self.corrupt(cal, mutate)
+        assert not report.ok
+        assert any("injective" in e for e in report.errors)
+
+    def test_detects_gate_after_measure(self, cal):
+        def mutate(program):
+            measured = next(g.qubits[0]
+                            for g in program.physical.circuit.gates
+                            if g.is_measure)
+            program.physical.circuit._gates.append(Gate("x", (measured,)))
+            program.physical.times.append((999.0, 1.0))
+        report = self.corrupt(cal, mutate)
+        assert not report.ok
+        assert any("measurement" in e for e in report.errors)
+
+    def test_detects_semantic_change(self, cal):
+        def mutate(program):
+            # Flip a data qubit right before readout.
+            hw = program.placement[0]
+            gates = program.physical.circuit._gates
+            idx = next(i for i, g in enumerate(gates) if g.is_measure)
+            gates.insert(idx, Gate("x", (hw,)))
+            program.physical.times.insert(idx, (500.0, 1.0))
+        report = self.corrupt(cal, mutate)
+        assert not report.ok
+        assert any("distribution" in e for e in report.errors)
+
+    def test_detects_overlapping_timing(self, cal):
+        def mutate(program):
+            program.physical.times[1] = program.physical.times[0]
+        program = compile_circuit(build_benchmark("HS2"), cal,
+                                  CompilerOptions.qiskit())
+        # Find two gates sharing a qubit and give them the same window.
+        gates = program.physical.circuit.gates
+        share = None
+        for i, a in enumerate(gates):
+            for j, b in enumerate(gates[i + 1:], start=i + 1):
+                if set(a.qubits) & set(b.qubits):
+                    share = (i, j)
+                    break
+            if share:
+                break
+        i, j = share
+        program.physical.times[j] = program.physical.times[i]
+        report = verify_compiled(program, cal, semantic=False)
+        assert not report.ok
+        assert any("overlap" in e for e in report.errors)
+
+    def test_raise_if_failed_raises(self, cal):
+        report = self.corrupt(
+            cal, lambda p: p.placement.__setitem__(0, 99))
+        with pytest.raises(CompilationError):
+            report.raise_if_failed()
+
+    def test_semantic_check_skipped_when_large(self, cal):
+        program = compile_circuit(build_benchmark("BV4"), cal,
+                                  CompilerOptions.r_smt_star())
+        report = verify_compiled(program, cal, max_semantic_qubits=1)
+        assert report.ok
+        assert "semantic:skipped(too-large)" in report.checks_run
