@@ -84,10 +84,12 @@ class GreedyVertexMapper(Mapper):
         interacting = sorted(adjacency, key=lambda q: (-degrees[q], q))
         placement: Dict[int, int] = {}
         used: Set[int] = set()
+        # Unplaced qubits adjacent to a placed one, maintained
+        # incrementally as qubits are placed (the frontier never needs
+        # an O(V^2) rescan per step).
+        frontier: Set[int] = set()
 
         while len(placement) < len(interacting):
-            frontier = [q for q in interacting if q not in placement
-                        and any(p in placement for p in adjacency[q])]
             if frontier:
                 # Highest-degree frontier qubit next (ties: program order).
                 q = min(frontier, key=lambda q: (-degrees[q], q))
@@ -112,6 +114,9 @@ class GreedyVertexMapper(Mapper):
                     calibration.readout_reliability(h), -h))
             placement[q] = choice
             used.add(choice)
+            frontier.discard(q)
+            frontier.update(nb for nb in adjacency[q]
+                            if nb not in placement)
 
         _fill_isolated(circuit, calibration, placement, used)
         result = MappingResult(placement=placement, optimal=False,

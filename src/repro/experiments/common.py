@@ -73,13 +73,19 @@ def compile_and_run(circuit: Circuit, expected: str,
                     calibration: Calibration, options: CompilerOptions,
                     tables: Optional[ReliabilityTables] = None,
                     trials: int = DEFAULT_TRIALS, seed: int = 7,
-                    simulate: bool = True) -> BenchmarkRun:
-    """Compile a benchmark and (optionally) execute it on the simulator."""
+                    simulate: bool = True,
+                    engine: str = "batched") -> BenchmarkRun:
+    """Compile a benchmark and (optionally) execute it on the simulator.
+
+    All figure/table harnesses run on the vectorized batched executor
+    by default; pass ``engine="trial"`` to cross-check a result against
+    the legacy per-trial engine.
+    """
     compiled = compile_circuit(circuit, calibration, options, tables=tables)
     execution = None
     if simulate:
         execution = execute(compiled, calibration, trials=trials, seed=seed,
-                            expected=expected)
+                            expected=expected, engine=engine)
     return BenchmarkRun(benchmark=circuit.name, variant=options.variant,
                         compiled=compiled, execution=execution)
 

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import TopologyError
 from repro.hardware.calibration import Calibration
-from repro.hardware.topology import GridTopology
+from repro.hardware.topology import Edge, GridTopology, edge_key
 
 
 @dataclass(frozen=True)
@@ -94,7 +94,8 @@ class ReliabilityTables:
         self.calibration = calibration
         self.topology: GridTopology = calibration.topology
         self._one_bend: Dict[Tuple[int, int, int], RoutedCnot] = {}
-        self._best_paths: Optional[Dict[int, Dict[int, RoutedCnot]]] = None
+        self._best_paths: Dict[int, Dict[int, RoutedCnot]] = {}
+        self._swap_weights: Optional[Dict[Edge, float]] = None
 
     # ------------------------------------------------------------------
     # One-bend (1BP) tables: the EC and Delta matrices of §4.4
@@ -137,16 +138,25 @@ class ReliabilityTables:
     # Most-reliable paths (heuristics' "Best Path" policy, §5)
     # ------------------------------------------------------------------
     def best_path(self, control: int, target: int) -> RoutedCnot:
-        """Most reliable swap path between any pair (Dijkstra)."""
-        if self._best_paths is None:
-            self._best_paths = self._all_pairs_dijkstra()
-        return self._best_paths[control][target]
+        """Most reliable swap path between any pair (Dijkstra).
 
-    def _all_pairs_dijkstra(self) -> Dict[int, Dict[int, RoutedCnot]]:
-        out: Dict[int, Dict[int, RoutedCnot]] = {}
-        for source in self.topology.iter_qubits():
-            out[source] = self._dijkstra_from(source)
-        return out
+        Rows are computed lazily per source and memoized, so callers
+        that only ever route from a few qubits never pay for the full
+        all-pairs table.
+        """
+        row = self._best_paths.get(control)
+        if row is None:
+            row = self._best_paths[control] = self._dijkstra_from(control)
+        return row[target]
+
+    def _edge_weights(self) -> Dict[Edge, float]:
+        """``-log(swap reliability)`` per coupling edge, computed once."""
+        if self._swap_weights is None:
+            self._swap_weights = {
+                edge_key(a, b): -math.log(
+                    max(self.calibration.swap_reliability(a, b), 1e-12))
+                for a, b in self.topology.edges()}
+        return self._swap_weights
 
     def _dijkstra_from(self, source: int) -> Dict[int, RoutedCnot]:
         """Max-reliability paths from *source* under the swap cost model.
@@ -157,6 +167,7 @@ class ReliabilityTables:
         final hop as a plain CNOT (matching :func:`route_cost`).
         """
         topo = self.topology
+        weights = self._edge_weights()
         dist = {source: 0.0}
         prev: Dict[int, int] = {}
         heap: List[Tuple[float, int]] = [(0.0, source)]
@@ -165,9 +176,7 @@ class ReliabilityTables:
             if d > dist.get(u, math.inf):
                 continue
             for v in topo.neighbors(u):
-                weight = -math.log(
-                    max(self.calibration.swap_reliability(u, v), 1e-12))
-                nd = d + weight
+                nd = d + weights[edge_key(u, v)]
                 if nd < dist.get(v, math.inf):
                     dist[v] = nd
                     prev[v] = u

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from repro.exceptions import CircuitError
@@ -152,12 +153,19 @@ def inverse_gate(gate: Gate) -> Gate:
     return gate
 
 
+@lru_cache(maxsize=4096)
 def gate_matrix(name: str, param: Optional[float] = None):
-    """Return the unitary matrix of a 1- or 2-qubit gate as a nested list.
+    """Return the unitary matrix of a 1- or 2-qubit gate as nested tuples.
 
     The simulator converts these to numpy arrays; keeping this module free
-    of numpy keeps the IR importable anywhere.
+    of numpy keeps the IR importable anywhere. Results are cached per
+    ``(name, param)`` and returned as (immutable) tuples so the shared
+    cache entries cannot be corrupted by callers.
     """
+    return tuple(tuple(row) for row in _gate_matrix_rows(name, param))
+
+
+def _gate_matrix_rows(name: str, param: Optional[float]):
     i = 1j
     inv_sqrt2 = 1.0 / math.sqrt(2.0)
     if name == "id":

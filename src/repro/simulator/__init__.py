@@ -1,6 +1,13 @@
-"""Noisy hardware executor (the IBMQ16 substitute)."""
+"""Noisy hardware executor (the IBMQ16 substitute).
+
+Execution is Monte-Carlo over stochastic Pauli errors. Two engines
+sample the same law: the default vectorized batched engine
+(:mod:`repro.simulator.trace` + :mod:`repro.simulator.batch`) and the
+legacy per-trial loop (``execute(..., engine="trial")``).
+"""
 
 from repro.simulator.analytic import AnalyticEstimate, estimate_success_analytic
+from repro.simulator.batch import run_batched
 from repro.simulator.executor import ExecutionResult, execute
 from repro.simulator.noise import (
     IdleRates,
@@ -8,7 +15,8 @@ from repro.simulator.noise import (
     PauliEvent,
     ideal_noise_model,
 )
-from repro.simulator.statevector import StateVector
+from repro.simulator.statevector import StateVector, cached_unitary
+from repro.simulator.trace import CompactProgram, ProgramTrace
 from repro.simulator.success import (
     distribution_overlap,
     empirical_distribution,
@@ -18,16 +26,20 @@ from repro.simulator.success import (
 
 __all__ = [
     "AnalyticEstimate",
+    "CompactProgram",
     "ExecutionResult",
+    "ProgramTrace",
     "estimate_success_analytic",
     "IdleRates",
     "NoiseModel",
     "PauliEvent",
     "StateVector",
+    "cached_unitary",
     "distribution_overlap",
     "empirical_distribution",
     "execute",
     "ideal_noise_model",
+    "run_batched",
     "success_rate",
     "total_variation_distance",
 ]

@@ -7,6 +7,21 @@ from the compiled schedule's start times), and readout bit flips on
 measurement. The fraction of trials returning the benchmark's known
 answer is the measured success rate.
 
+Two engines implement the same sampling law:
+
+* ``engine="batched"`` (default) lowers the program once into a
+  :class:`~repro.simulator.trace.ProgramTrace` and samples all trials
+  with array-level numpy operations (:mod:`repro.simulator.batch`):
+  one Bernoulli matrix for every error site, a single vectorized draw
+  for all error-free trials, and one statevector simulation per
+  *distinct* noisy error plan.
+* ``engine="trial"`` is the legacy per-trial loop, kept for
+  cross-validation (the batched engine is tested to agree with it
+  within a TVD bound) and for exotic :class:`NoiseModel` subclasses
+  that override the sampling methods rather than the probability
+  accessors — :func:`execute` detects such models and falls back to
+  it automatically.
+
 Trials with no sampled error events short-circuit to a draw from the
 ideal output distribution, which keeps thousand-trial runs fast without
 changing the sampled law.
@@ -22,10 +37,14 @@ import numpy as np
 from repro.compiler.compile import CompiledProgram
 from repro.exceptions import SimulationError
 from repro.hardware.calibration import Calibration
-from repro.ir.circuit import Circuit
+from repro.simulator.batch import run_batched
 from repro.simulator.noise import NoiseModel, PauliEvent
 from repro.simulator.statevector import StateVector
 from repro.simulator.success import distribution_overlap
+from repro.simulator.trace import CompactProgram, ProgramTrace
+
+#: Backward-compatible alias (the class moved to repro.simulator.trace).
+_CompactProgram = CompactProgram
 
 
 @dataclass
@@ -62,70 +81,23 @@ class ExecutionResult:
         return max(self.counts, key=lambda o: (self.counts[o], o))
 
 
-class _CompactProgram:
-    """Physical program restricted to the hardware qubits it touches."""
+#: The per-trial sampling extension points of :class:`NoiseModel`. The
+#: batched engine lowers error sites from the probability accessors
+#: only, so a subclass overriding one of these must run per-trial.
+_SAMPLING_HOOKS = ("sample_gate_error", "sample_idle_error",
+                   "sample_readout_flip")
 
-    def __init__(self, circuit: Circuit,
-                 times: Sequence[Tuple[float, float]],
-                 topology=None) -> None:
-        used = circuit.used_qubits()
-        if not used:
-            raise SimulationError("program touches no qubits")
-        self.hw_to_dense = {h: i for i, h in enumerate(used)}
-        self.used = used
-        self.n_qubits = len(used)
-        self.gates = list(circuit.gates)
-        self.times = list(times)
-        self.n_cbits = circuit.n_cbits
-        # Measurement map: dense qubit -> cbit; validated terminal.
-        self.measures: List[Tuple[int, int, int]] = []  # (hw, dense, cbit)
-        seen_measure = set()
-        for gate in self.gates:
-            for q in gate.qubits:
-                if q in seen_measure and gate.name != "barrier":
-                    raise SimulationError(
-                        f"operation on qubit {q} after its measurement")
-            if gate.is_measure:
-                hw = gate.qubits[0]
-                self.measures.append((hw, self.hw_to_dense[hw], gate.cbit))
-                seen_measure.add(hw)
-        # Idle window preceding each gate, per participating qubit.
-        last_finish: Dict[int, float] = {}
-        self.idle_before: List[Tuple[Tuple[int, float], ...]] = []
-        for gate, (start, duration) in zip(self.gates, self.times):
-            gaps = []
-            for q in gate.qubits:
-                previous = last_finish.get(q)
-                if previous is not None and start > previous + 1e-9:
-                    gaps.append((q, start - previous))
-                last_finish[q] = start + duration
-            self.idle_before.append(tuple(gaps))
-        # Crosstalk exposure: for each two-qubit gate, how many other
-        # two-qubit gates overlap it in time on an adjacent coupling.
-        self.concurrent_neighbors: List[int] = [0] * len(self.gates)
-        two_q = [(i, g, self.times[i]) for i, g in enumerate(self.gates)
-                 if g.is_two_qubit]
-        for idx, (i, g1, (s1, d1)) in enumerate(two_q):
-            qs1 = set(g1.qubits)
-            for j, g2, (s2, d2) in two_q[idx + 1:]:
-                if s1 + d1 <= s2 + 1e-9 or s2 + d2 <= s1 + 1e-9:
-                    continue  # no time overlap
-                qs2 = set(g2.qubits)
-                if qs1 & qs2:
-                    continue  # same gate chain, not crosstalk
-                if topology is not None and not any(
-                        topology.is_adjacent(a, b)
-                        for a in qs1 for b in qs2):
-                    continue  # spatially remote couplings
-                self.concurrent_neighbors[i] += 1
-                self.concurrent_neighbors[j] += 1
+
+def _overrides_sampling_hooks(noise: NoiseModel) -> bool:
+    return any(getattr(type(noise), hook) is not getattr(NoiseModel, hook)
+               for hook in _SAMPLING_HOOKS)
 
 
 def _dense_event(event: PauliEvent, mapping: Dict[int, int]) -> Tuple[int, str]:
     return mapping[event.qubit], event.name
 
 
-def _run_state(compact: _CompactProgram,
+def _run_state(compact: CompactProgram,
                error_plan: Optional[List[List[Tuple[int, str]]]]
                ) -> StateVector:
     """Execute the gate list; apply planned Pauli events after each gate."""
@@ -142,7 +114,7 @@ def _run_state(compact: _CompactProgram,
     return state
 
 
-def _ideal_distribution(compact: _CompactProgram) -> Dict[str, float]:
+def _ideal_distribution(compact: CompactProgram) -> Dict[str, float]:
     """Noise-free distribution over classical strings."""
     state = _run_state(compact, None)
     probs = state.probabilities()
@@ -157,7 +129,7 @@ def _ideal_distribution(compact: _CompactProgram) -> Dict[str, float]:
     return out
 
 
-def _classical_string(compact: _CompactProgram, bits: Sequence[int]) -> str:
+def _classical_string(compact: CompactProgram, bits: Sequence[int]) -> str:
     chars = ["0"] * compact.n_cbits
     for _, dense, cbit in compact.measures:
         chars[cbit] = str(bits[dense])
@@ -167,7 +139,8 @@ def _classical_string(compact: _CompactProgram, bits: Sequence[int]) -> str:
 def execute(compiled: CompiledProgram, calibration: Calibration,
             trials: int = 1024, seed: int = 0,
             expected: Optional[str] = None,
-            noise_model: Optional[NoiseModel] = None) -> ExecutionResult:
+            noise_model: Optional[NoiseModel] = None,
+            engine: str = "batched") -> ExecutionResult:
     """Run *compiled* for *trials* shots on the noisy simulator.
 
     Args:
@@ -179,23 +152,42 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
         seed: Master RNG seed; results are reproducible.
         expected: The benchmark's known answer string.
         noise_model: Override the default all-mechanisms model.
+        engine: ``"batched"`` (vectorized, default) or ``"trial"``
+            (legacy per-trial loop); both sample the same law. Noise
+            models overriding the per-trial ``sample_*`` hooks always
+            run on the trial engine.
 
     Returns:
         Counts plus success-rate/overlap accessors.
     """
     if trials < 1:
         raise SimulationError("need at least one trial")
+    if engine not in ("batched", "trial"):
+        raise SimulationError(f"unknown execution engine {engine!r}")
     noise = noise_model or NoiseModel(calibration)
-    compact = _CompactProgram(compiled.physical.circuit,
-                              compiled.physical.times,
-                              topology=calibration.topology)
+    if engine == "batched" and _overrides_sampling_hooks(noise):
+        # A subclass that customizes the per-trial sampling hooks (not
+        # just the probability accessors the trace reads) would be
+        # silently ignored by the batched lowering; honor it instead.
+        engine = "trial"
+    compact = CompactProgram(compiled.physical.circuit,
+                             compiled.physical.times,
+                             topology=calibration.topology)
     rng = np.random.default_rng(seed)
+
+    if engine == "batched":
+        trace = ProgramTrace(compact, noise)
+        counts = run_batched(trace, trials, rng)
+        return ExecutionResult(counts=counts, trials=trials,
+                               expected=expected,
+                               ideal_distribution=trace.ideal_distribution)
+
     ideal = _ideal_distribution(compact)
     ideal_outcomes = sorted(ideal)
     ideal_probs = np.array([ideal[o] for o in ideal_outcomes])
     ideal_probs = ideal_probs / ideal_probs.sum()
 
-    counts: Dict[str, int] = {}
+    counts = {}
     for _ in range(trials):
         plan, any_error = _sample_error_plan(compact, noise, rng)
         if not any_error:
@@ -218,7 +210,7 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
                            ideal_distribution=ideal)
 
 
-def _sample_error_plan(compact: _CompactProgram, noise: NoiseModel,
+def _sample_error_plan(compact: CompactProgram, noise: NoiseModel,
                        rng: np.random.Generator
                        ) -> Tuple[List[List[Tuple[int, str]]], bool]:
     """Sample gate + idle Pauli events for one trial."""

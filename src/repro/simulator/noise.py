@@ -151,13 +151,18 @@ class NoiseModel:
         return []
 
     # ------------------------------------------------------------------
+    def readout_flip_probability(self, qubit: int, bit: int = 0) -> float:
+        """Probability of misreporting the measured *bit* of *qubit*."""
+        if not self.readout_errors:
+            return 0.0
+        return self.calibration.qubit(qubit).readout_flip_probability(bit)
+
     def sample_readout_flip(self, qubit: int, rng: np.random.Generator,
                             bit: int = 0) -> bool:
         """Whether the measured *bit* of *qubit* is misreported."""
         if not self.readout_errors:
             return False
-        p = self.calibration.qubit(qubit).readout_flip_probability(bit)
-        return rng.random() < p
+        return rng.random() < self.readout_flip_probability(qubit, bit)
 
 
 def ideal_noise_model(calibration: Calibration) -> NoiseModel:

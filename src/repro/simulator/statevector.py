@@ -12,12 +12,28 @@ bit *q* of a flattened outcome index is
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.ir.gates import gate_matrix
+
+
+@lru_cache(maxsize=4096)
+def cached_unitary(name: str, param: Optional[float] = None) -> np.ndarray:
+    """Read-only complex matrix of a named gate, cached per (name, param).
+
+    Gate applications are hot enough that re-allocating the 2x2/4x4
+    matrix per call shows up in profiles; callers must not mutate the
+    returned array (it is marked non-writeable). The cache is bounded
+    so sweeps over many distinct rotation angles cannot grow memory
+    without limit.
+    """
+    matrix = np.array(gate_matrix(name, param), dtype=np.complex128)
+    matrix.setflags(write=False)
+    return matrix
 
 
 class StateVector:
@@ -57,8 +73,7 @@ class StateVector:
     def apply_gate(self, name: str, qubits: Sequence[int],
                    param: Optional[float] = None) -> None:
         """Apply a named IR gate."""
-        matrix = np.array(gate_matrix(name, param), dtype=np.complex128)
-        self.apply_matrix(matrix, qubits)
+        self.apply_matrix(cached_unitary(name, param), qubits)
 
     def _apply_1q(self, matrix: np.ndarray, q: int) -> None:
         state = np.tensordot(matrix, self.amplitudes, axes=([1], [q]))

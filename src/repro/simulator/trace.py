@@ -1,0 +1,291 @@
+"""Precompiled execution traces for the batched Monte-Carlo engine.
+
+The per-trial executor re-derives everything stochastic from the
+:class:`~repro.simulator.noise.NoiseModel` on every shot: idle rates,
+gate error probabilities, Pauli choices. This module lowers a compiled
+program **once** into flat numpy arrays so that the batched engine
+(:mod:`repro.simulator.batch`) can sample the entire ``trials x sites``
+Bernoulli matrix in a handful of vectorized RNG calls:
+
+* :class:`CompactProgram` — the physical program restricted to the
+  hardware qubits it touches, with per-gate idle windows and the
+  crosstalk exposure counts (computed with a start-time-sorted interval
+  sweep rather than an O(G^2) pair scan);
+* :class:`ProgramTrace` — the flattened *error-site* table. Each site
+  is one independent Bernoulli error source (an idle window on one
+  qubit before a gate, or the gate's own depolarizing channel) with a
+  precomputed firing probability, the cumulative boundaries of its
+  conditional Pauli-choice distribution, and the concrete Pauli events
+  each choice applies. The trace also caches the per-gate unitaries,
+  the dense-qubit measure map, the ideal output distribution, and the
+  per-measure readout flip probabilities.
+
+Sampling a trial from the trace is identical in law to the per-trial
+path: an idle window that fires with probability ``p_x + p_y + p_z``
+and then picks X/Y/Z proportionally is the same two-stage process the
+legacy sampler performs with a single uniform draw.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.ir.circuit import Circuit
+from repro.simulator.noise import _PAULIS_1Q, _PAULIS_2Q, NoiseModel
+from repro.simulator.statevector import StateVector, cached_unitary
+
+#: Ideal-distribution probability cutoff (matches the per-trial engine).
+_PROB_CUTOFF = 1e-12
+
+#: One Pauli event: (dense qubit, pauli name).
+DenseEvent = Tuple[int, str]
+
+
+class CompactProgram:
+    """Physical program restricted to the hardware qubits it touches."""
+
+    def __init__(self, circuit: Circuit,
+                 times: Sequence[Tuple[float, float]],
+                 topology=None) -> None:
+        used = circuit.used_qubits()
+        if not used:
+            raise SimulationError("program touches no qubits")
+        self.hw_to_dense = {h: i for i, h in enumerate(used)}
+        self.used = used
+        self.n_qubits = len(used)
+        self.gates = list(circuit.gates)
+        self.times = list(times)
+        self.n_cbits = circuit.n_cbits
+        # Measurement map: dense qubit -> cbit; validated terminal.
+        self.measures: List[Tuple[int, int, int]] = []  # (hw, dense, cbit)
+        seen_measure = set()
+        for gate in self.gates:
+            for q in gate.qubits:
+                if q in seen_measure and gate.name != "barrier":
+                    raise SimulationError(
+                        f"operation on qubit {q} after its measurement")
+            if gate.is_measure:
+                hw = gate.qubits[0]
+                self.measures.append((hw, self.hw_to_dense[hw], gate.cbit))
+                seen_measure.add(hw)
+        # Idle window preceding each gate, per participating qubit.
+        last_finish: Dict[int, float] = {}
+        self.idle_before: List[Tuple[Tuple[int, float], ...]] = []
+        for gate, (start, duration) in zip(self.gates, self.times):
+            gaps = []
+            for q in gate.qubits:
+                previous = last_finish.get(q)
+                if previous is not None and start > previous + 1e-9:
+                    gaps.append((q, start - previous))
+                last_finish[q] = start + duration
+            self.idle_before.append(tuple(gaps))
+        # Crosstalk exposure: for each two-qubit gate, how many other
+        # two-qubit gates overlap it in time on an adjacent coupling.
+        # Start-time-sorted interval sweep: only gates whose interval is
+        # still open when the next one starts are candidate partners.
+        self.concurrent_neighbors: List[int] = [0] * len(self.gates)
+        two_q = [(i, frozenset(g.qubits), s, s + d)
+                 for i, (g, (s, d)) in enumerate(zip(self.gates, self.times))
+                 if g.is_two_qubit]
+        two_q.sort(key=lambda entry: (entry[2], entry[0]))
+        active: List[Tuple[int, frozenset, float, float]] = []
+        for entry in two_q:
+            i, qs1, s1, _ = entry
+            active = [a for a in active if a[3] > s1 + 1e-9]
+            for j, qs2, _, _ in active:
+                if qs1 & qs2:
+                    continue  # same gate chain, not crosstalk
+                if topology is not None and not any(
+                        topology.is_adjacent(a, b)
+                        for a in qs1 for b in qs2):
+                    continue  # spatially remote couplings
+                self.concurrent_neighbors[i] += 1
+                self.concurrent_neighbors[j] += 1
+            active.append(entry)
+
+
+class ProgramTrace:
+    """Flat-array lowering of one (program, noise model) pair.
+
+    Attributes:
+        site_gate: ``(S,)`` gate index each error site belongs to.
+        site_prob: ``(S,)`` Bernoulli firing probability per site.
+        site_cum: ``(S, 14)`` interior cumulative boundaries of each
+            site's conditional Pauli-choice distribution, padded with
+            1.0 (a uniform draw lands left of the padding).
+        site_events: per site, a tuple of choices; each choice is a
+            tuple of :data:`DenseEvent` to apply after the gate.
+    """
+
+    def __init__(self, compact: CompactProgram, noise: NoiseModel) -> None:
+        self.compact = compact
+        self.n_qubits = compact.n_qubits
+        self.n_cbits = compact.n_cbits
+        self.measures = list(compact.measures)
+        self.n_measures = len(self.measures)
+
+        # Unitary schedule: (cached matrix, dense qubits) or None for
+        # barriers and measurements.
+        self.ops: List = []
+        for gate in compact.gates:
+            if gate.name == "barrier" or gate.is_measure:
+                self.ops.append(None)
+            else:
+                dense = tuple(compact.hw_to_dense[q] for q in gate.qubits)
+                self.ops.append((cached_unitary(gate.name, gate.param),
+                                 dense))
+
+        # Error-site table, in the order the per-trial sampler visits
+        # sites: for each gate, its idle windows first, then the gate's
+        # own error channel. Zero-probability sites are dropped.
+        site_gate: List[int] = []
+        site_prob: List[float] = []
+        cum_rows: List[np.ndarray] = []
+        self.site_events: List[Tuple[Tuple[DenseEvent, ...], ...]] = []
+        for i, (gate, gaps) in enumerate(zip(compact.gates,
+                                             compact.idle_before)):
+            for qubit, idle in gaps:
+                rates = noise.idle_rates(qubit, idle)
+                if rates.total <= 0.0:
+                    continue
+                dense = compact.hw_to_dense[qubit]
+                site_gate.append(i)
+                site_prob.append(rates.total)
+                cum_rows.append(np.array(
+                    [rates.p_x, rates.p_x + rates.p_y]) / rates.total)
+                self.site_events.append(
+                    tuple(((dense, p),) for p in _PAULIS_1Q))
+            p = noise.gate_error_probability(
+                gate, concurrent_neighbors=compact.concurrent_neighbors[i])
+            if p <= 0.0:
+                continue
+            site_gate.append(i)
+            site_prob.append(p)
+            if gate.is_two_qubit:
+                da, db = (compact.hw_to_dense[q] for q in gate.qubits)
+                choices = []
+                for pa, pb in _PAULIS_2Q:
+                    events = []
+                    if pa != "i":
+                        events.append((da, pa))
+                    if pb != "i":
+                        events.append((db, pb))
+                    choices.append(tuple(events))
+                self.site_events.append(tuple(choices))
+                cum_rows.append(np.arange(1, len(_PAULIS_2Q))
+                                / float(len(_PAULIS_2Q)))
+            else:
+                dense = compact.hw_to_dense[gate.qubits[0]]
+                self.site_events.append(
+                    tuple(((dense, p),) for p in _PAULIS_1Q))
+                cum_rows.append(np.array([1.0, 2.0]) / 3.0)
+        self.n_sites = len(site_gate)
+        self.site_gate = np.asarray(site_gate, dtype=np.int64)
+        self.site_prob = np.asarray(site_prob, dtype=np.float64)
+        max_bounds = len(_PAULIS_2Q) - 1
+        self.site_cum = np.ones((self.n_sites, max_bounds), dtype=np.float64)
+        for s, row in enumerate(cum_rows):
+            self.site_cum[s, :len(row)] = row
+
+        # Dense-basis index -> measured-bit pattern code (bit m of the
+        # code is the measured value of measure m).
+        basis = np.arange(1 << self.n_qubits, dtype=np.int64)
+        codes = np.zeros(basis.shape, dtype=np.int64)
+        for m, (_, dense, _) in enumerate(self.measures):
+            codes |= ((basis >> (self.n_qubits - 1 - dense)) & 1) << m
+        self.basis_codes = codes
+        # Measured qubits are distinct, so every pattern code covers
+        # exactly 2**(n_qubits - n_measures) basis states; sorting by
+        # code lets the batch collapse basis probabilities to pattern
+        # distributions with one reshape+sum instead of per-row
+        # bincounts.
+        self.pattern_order = np.argsort(codes, kind="stable")
+
+        # Classical-bit bookkeeping. Distinct measures may alias the
+        # same cbit (last write wins, like the per-trial engine); group
+        # measures per cbit so readout flips can chain in measure order.
+        self.measured_cbits: List[int] = []
+        self.measures_for_cbit: List[List[int]] = []
+        cbit_to_slot: Dict[int, int] = {}
+        for m, (_, _, cbit) in enumerate(self.measures):
+            slot = cbit_to_slot.get(cbit)
+            if slot is None:
+                slot = cbit_to_slot[cbit] = len(self.measured_cbits)
+                self.measured_cbits.append(cbit)
+                self.measures_for_cbit.append([])
+            self.measures_for_cbit[slot].append(m)
+        self.last_measure_for_cbit = [ms[-1]
+                                      for ms in self.measures_for_cbit]
+
+        # Readout flip probabilities per measure, conditioned on the
+        # true measured bit.
+        self.readout_p0 = np.array(
+            [noise.readout_flip_probability(hw, 0)
+             for hw, _, _ in self.measures], dtype=np.float64)
+        self.readout_p1 = np.array(
+            [noise.readout_flip_probability(hw, 1)
+             for hw, _, _ in self.measures], dtype=np.float64)
+
+        # Ideal (noise-free) output distribution over pattern codes.
+        self._strings: Dict[int, str] = {}
+        self._outcome_strings: Dict[int, str] = {}
+        pattern = self.plan_probabilities({})
+        keep = np.nonzero(pattern > _PROB_CUTOFF)[0]
+        probs = pattern[keep]
+        self.ideal_codes = keep
+        self.ideal_probs = probs / probs.sum()
+        # Aliased cbits can render distinct pattern codes to the same
+        # string: accumulate, don't overwrite.
+        self.ideal_distribution = {}
+        for c, p in zip(keep, probs):
+            string = self.pattern_string(int(c))
+            self.ideal_distribution[string] = \
+                self.ideal_distribution.get(string, 0.0) + float(p)
+
+    # ------------------------------------------------------------------
+    def plan_probabilities(self, plan: Dict[int, List[DenseEvent]]
+                           ) -> np.ndarray:
+        """Measured-pattern distribution after executing one error plan.
+
+        Args:
+            plan: Gate index -> Pauli events to inject after that gate
+                (empty dict = noise-free run).
+
+        Returns:
+            Length ``2**n_measures`` probability vector over pattern
+            codes.
+        """
+        state = StateVector(self.n_qubits)
+        for i, op in enumerate(self.ops):
+            if op is not None:
+                matrix, dense = op
+                state.apply_matrix(matrix, dense)
+            for dense_q, pauli in plan.get(i, ()):
+                state.apply_matrix(cached_unitary(pauli), (dense_q,))
+        probs = state.probabilities()
+        return np.bincount(self.basis_codes, weights=probs,
+                           minlength=1 << self.n_measures)
+
+    def pattern_string(self, code: int) -> str:
+        """Classical output string for a measured-bit pattern code."""
+        cached = self._strings.get(code)
+        if cached is None:
+            chars = ["0"] * self.n_cbits
+            for m, (_, _, cbit) in enumerate(self.measures):
+                chars[cbit] = "1" if (code >> m) & 1 else "0"
+            cached = self._strings[code] = "".join(chars)
+        return cached
+
+    def outcome_string(self, code: int) -> str:
+        """Classical output string for a rendered-cbit code (bit *j* of
+        the code is the final value of ``measured_cbits[j]``)."""
+        cached = self._outcome_strings.get(code)
+        if cached is None:
+            chars = ["0"] * self.n_cbits
+            for j, cbit in enumerate(self.measured_cbits):
+                chars[cbit] = "1" if (code >> j) & 1 else "0"
+            cached = self._outcome_strings[code] = "".join(chars)
+        return cached
