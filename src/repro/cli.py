@@ -7,7 +7,11 @@ Entry points (also available as ``python -m repro``):
 * ``repro run``         — compile and execute on the noisy simulator,
   reporting the measured success rate;
 * ``repro calibration`` — print (or save) a day's calibration snapshot;
-* ``repro experiment``  — regenerate one of the paper's figures/tables;
+* ``repro experiment``  — regenerate one of the paper's figures/tables
+  (``--workers N`` fans the underlying sweep out over N processes);
+* ``repro sweep``       — run a declarative (benchmark x variant x
+  calibration-day x seed) scenario grid on the sweep runtime, with
+  ``--workers`` parallelism and cross-cell compile/trace caching;
 * ``repro benchmarks``  — list the registered Table-2 benchmarks.
 """
 
@@ -95,6 +99,48 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--trials", type=int, default=1024)
     exp_p.add_argument("--days", type=int, default=None,
                        help="days for fig1/fig6")
+    exp_p.add_argument("--workers", type=int, default=0,
+                       help="sweep worker processes (0 = in-process; "
+                            "ignored by fig1/table2)")
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a scenario grid on the parallel sweep runtime",
+        description="Execute a (benchmark x variant x calibration-day x "
+                    "seed) grid through the sweep runtime. Cells sharing "
+                    "a configuration reuse one compilation and one "
+                    "lowered execution trace; --workers >= 2 fans the "
+                    "grid out over a process pool with results "
+                    "bit-identical to the serial run.")
+    sweep_p.add_argument("--device", default="ibmq16",
+                         help="preset device (default: ibmq16)")
+    sweep_p.add_argument("--calibration-seed", type=int, default=2019,
+                         help="calibration generator seed")
+    sweep_p.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                         default=["BV4", "HS6", "Toffoli"],
+                         choices=benchmark_names(),
+                         help="benchmarks to sweep (default: BV4 HS6 "
+                              "Toffoli)")
+    sweep_p.add_argument("--variants", nargs="+", metavar="VARIANT",
+                         default=["t-smt*", "r-smt*"],
+                         choices=_VARIANT_CHOICES,
+                         help="compiler variants (default: t-smt* r-smt*)")
+    sweep_p.add_argument("--routing", default=None,
+                         choices=("rr", "1bp", "best", "shortest"),
+                         help="routing policy override (default: each "
+                              "variant's own)")
+    sweep_p.add_argument("--days", type=int, default=1,
+                         help="calibration days 0..N-1 (default: 1)")
+    sweep_p.add_argument("--seeds", type=int, default=1,
+                         help="executor seeds per configuration "
+                              "(default: 1)")
+    sweep_p.add_argument("--seed", type=int, default=7,
+                         help="base executor seed (default: 7)")
+    sweep_p.add_argument("--trials", type=int, default=1024)
+    sweep_p.add_argument("--omega", type=float, default=0.5,
+                         help="readout weight for r-smt* (default: 0.5)")
+    sweep_p.add_argument("--workers", type=int, default=0,
+                         help="worker processes (0 = in-process serial)")
 
     sub.add_parser("benchmarks", help="list registered benchmarks")
     return parser
@@ -110,20 +156,27 @@ def _load_circuit(args: argparse.Namespace):
     return qasm_to_circuit(args.qasm.read_text(), name=args.qasm.stem), None
 
 
-def _options(args: argparse.Namespace) -> CompilerOptions:
+def _variant_options(variant: str, omega: float,
+                     routing: Optional[str] = None) -> CompilerOptions:
+    """The CLI-wide variant name -> CompilerOptions map (one source of
+    truth for ``compile``, ``run`` and ``sweep``)."""
     defaults = {
         "qiskit": CompilerOptions.qiskit(),
         "t-smt": CompilerOptions.t_smt(),
         "t-smt*": CompilerOptions.t_smt_star(),
-        "r-smt*": CompilerOptions.r_smt_star(omega=args.omega),
+        "r-smt*": CompilerOptions.r_smt_star(omega=omega),
         "greedyv*": CompilerOptions.greedy_v(),
         "greedye*": CompilerOptions.greedy_e(),
     }
-    options = defaults[args.variant].with_(
-        solver_time_limit=args.time_limit, peephole=args.peephole)
-    if args.routing is not None:
-        options = options.with_(routing=args.routing)
+    options = defaults[variant]
+    if routing is not None:
+        options = options.with_(routing=routing)
     return options
+
+
+def _options(args: argparse.Namespace) -> CompilerOptions:
+    return _variant_options(args.variant, args.omega, args.routing).with_(
+        solver_time_limit=args.time_limit, peephole=args.peephole)
 
 
 def _cmd_compile(args: argparse.Namespace, out) -> int:
@@ -187,26 +240,63 @@ def _cmd_experiment(args: argparse.Namespace, out) -> int:
     from repro import experiments
 
     name = args.name
+    workers = args.workers
     if name == "fig1":
         result = experiments.run_fig1(days=args.days or 25)
     elif name == "table2":
         result = experiments.run_table2()
     elif name == "fig5":
-        result = experiments.run_fig5(trials=args.trials)
+        result = experiments.run_fig5(trials=args.trials, workers=workers)
     elif name == "fig6":
         result = experiments.run_fig6(days=args.days or 7,
-                                      trials=args.trials)
+                                      trials=args.trials, workers=workers)
     elif name == "fig7":
-        result = experiments.run_fig7(trials=args.trials)
+        result = experiments.run_fig7(trials=args.trials, workers=workers)
     elif name == "fig8":
-        result = experiments.run_fig8()
+        result = experiments.run_fig8(workers=workers)
     elif name == "fig9":
-        result = experiments.run_fig9()
+        result = experiments.run_fig9(workers=workers)
     elif name == "fig10":
-        result = experiments.run_fig10(trials=args.trials)
+        result = experiments.run_fig10(trials=args.trials, workers=workers)
     else:
-        result = experiments.run_fig11()
+        result = experiments.run_fig11(workers=workers)
     out.write(result.to_text() + "\n")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    from repro.experiments.common import format_table
+    from repro.runtime import SweepCell, run_sweep
+
+    calibrations = {day: device_calibration(args.device, day=day,
+                                            seed=args.calibration_seed)
+                    for day in range(args.days)}
+    specs = {name: get_benchmark(name) for name in args.benchmarks}
+    circuits = {name: spec.build() for name, spec in specs.items()}
+    cells = [SweepCell(circuit=circuits[bench],
+                       calibration=calibrations[day],
+                       options=_variant_options(variant, args.omega,
+                                                args.routing),
+                       expected=specs[bench].expected_output,
+                       trials=args.trials, seed=args.seed + s,
+                       key=(bench, variant, day, args.seed + s))
+             for day in range(args.days)
+             for bench in args.benchmarks
+             for variant in args.variants
+             for s in range(args.seeds)]
+    sweep = run_sweep(cells, workers=args.workers)
+
+    rows = []
+    for result in sweep:
+        bench, variant, day, seed = result.key
+        rows.append([bench, variant, day, seed,
+                     result.success_rate,
+                     result.compiled.swap_count,
+                     f"{result.compiled.duration:.0f}"])
+    out.write(format_table(
+        ["benchmark", "variant", "day", "seed", "success", "swaps",
+         "duration"], rows) + "\n")
+    out.write(sweep.summary() + "\n")
     return 0
 
 
@@ -235,6 +325,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_calibration(args, out)
         if args.command == "experiment":
             return _cmd_experiment(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
         return _cmd_benchmarks(out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

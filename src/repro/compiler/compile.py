@@ -9,6 +9,7 @@ quality metrics.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -84,6 +85,29 @@ class CompiledProgram:
     def qasm(self) -> str:
         """OpenQASM 2.0 text of the physical program."""
         return circuit_to_qasm(self.physical.circuit)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the compiled artifact.
+
+        Covers everything that determines noisy-execution behavior —
+        the physical gate sequence, its timing, the placement, the
+        calibration snapshot label and the options — but not wall-clock
+        measurements like ``compile_time``. The trace cache keys on
+        this, so two identical compilations (e.g. a compile-cache hit
+        replayed in another process) share one lowered trace.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            hasher = hashlib.sha256()
+            hasher.update(self.physical.circuit.fingerprint().encode())
+            for start, duration in self.physical.times:
+                hasher.update(f"{start!r},{duration!r};".encode())
+            for q, h in sorted(self.placement.items()):
+                hasher.update(f"{q}->{h};".encode())
+            hasher.update(self.calibration_label.encode())
+            hasher.update(self.options.fingerprint().encode())
+            cached = self._fingerprint = hasher.hexdigest()
+        return cached
 
     def summary(self) -> str:
         """One-line human-readable description."""

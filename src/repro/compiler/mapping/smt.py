@@ -77,6 +77,16 @@ def _base_model(search_qubits: List[int],
     return model
 
 
+def _identity_warm_start(search_qubits: List[int]) -> Dict[str, int]:
+    """Program qubit q -> hardware qubit q, the mappers' shared warm start.
+
+    The solver validates the warm start itself and starts cold if it is
+    infeasible under the model (e.g. a symmetry-broken domain excludes
+    the identity placement).
+    """
+    return {_var(q): q for q in search_qubits}
+
+
 def _complete_placement(circuit: Circuit, calibration: Calibration,
                         partial: Dict[int, int]) -> Dict[int, int]:
     """Place the remaining (non-interacting) qubits.
@@ -141,8 +151,8 @@ class ReliabilitySmtMapper(Mapper):
         solver = BranchAndBoundSolver(
             time_limit=self.options.solver_time_limit)
         start = time.perf_counter()
-        warm = {_var(q): q for q in search_qubits}
-        result = solver.solve(model, initial=warm)
+        result = solver.solve(
+            model, initial=_identity_warm_start(search_qubits))
         elapsed = time.perf_counter() - start
         if result.assignment is None:
             raise MappingError("R-SMT* found no feasible placement")
@@ -222,10 +232,8 @@ class TimeSmtMapper(Mapper):
         solver = BranchAndBoundSolver(
             time_limit=self.options.solver_time_limit)
         start = time.perf_counter()
-        warm = {_var(q): q for i, q in enumerate(search_qubits)}
-        if not model.validate(warm):
-            warm = None
-        result = solver.solve(model, initial=warm)
+        result = solver.solve(
+            model, initial=_identity_warm_start(search_qubits))
         elapsed = time.perf_counter() - start
         if result.assignment is None:
             raise MappingError("T-SMT found no feasible placement")

@@ -7,7 +7,8 @@ constructors build the exact configurations the paper evaluates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+from dataclasses import dataclass, fields, replace
 from typing import Optional
 
 from repro.exceptions import CompilationError
@@ -82,6 +83,17 @@ class CompilerOptions:
     def with_(self, **changes) -> "CompilerOptions":
         """Functional update, e.g. ``opts.with_(omega=1.0)``."""
         return replace(self, **changes)
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every option field.
+
+        Equal option values share a fingerprint across processes and
+        sessions (unlike ``hash()``), which is what the sweep runtime's
+        compile cache keys on.
+        """
+        parts = ";".join(f"{f.name}={getattr(self, f.name)!r}"
+                         for f in fields(self))
+        return hashlib.sha256(parts.encode()).hexdigest()
 
     # ------------------------------------------------------------------
     # Table-1 rows

@@ -6,6 +6,7 @@ from repro.experiments.common import (
     compile_and_run,
     format_table,
     geometric_mean,
+    run_benchmark_grid,
 )
 from repro.experiments.ablations import (
     ConventionAblationResult,
@@ -51,6 +52,7 @@ __all__ = [
     "compile_and_run",
     "format_table",
     "geometric_mean",
+    "run_benchmark_grid",
     "run_fig1",
     "run_fig10",
     "run_fig11",

@@ -18,18 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.compiler import CompilerOptions, compile_circuit
+from repro.compiler import CompilerOptions
 from repro.experiments.common import (
     DEFAULT_TRIALS,
-    compile_and_run,
     format_table,
 )
 from repro.hardware import (
     Calibration,
-    ReliabilityTables,
     default_ibmq16_calibration,
 )
 from repro.programs import all_benchmarks, get_benchmark
+from repro.runtime import SweepCell, run_sweep
 
 
 @dataclass
@@ -56,19 +55,20 @@ def run_omega_sweep(benchmarks: Sequence[str] = ("BV4", "HS6", "Toffoli"),
                     omegas: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
                     calibration: Optional[Calibration] = None,
                     trials: int = DEFAULT_TRIALS,
-                    seed: int = 7) -> OmegaSweepResult:
+                    seed: int = 7, workers: int = 0) -> OmegaSweepResult:
     """Dense omega sweep of R-SMT* success rate."""
     cal = calibration or default_ibmq16_calibration()
-    tables = ReliabilityTables(cal)
-    success: Dict[str, Dict[float, float]] = {}
-    for bench in benchmarks:
-        spec = get_benchmark(bench)
-        success[bench] = {}
-        for omega in omegas:
-            run = compile_and_run(spec.build(), spec.expected_output, cal,
-                                  CompilerOptions.r_smt_star(omega=omega),
-                                  tables=tables, trials=trials, seed=seed)
-            success[bench][omega] = run.success_rate
+    specs = {b: get_benchmark(b) for b in benchmarks}
+    circuits = {b: spec.build() for b, spec in specs.items()}
+    cells = [SweepCell(circuit=circuits[bench], calibration=cal,
+                       options=CompilerOptions.r_smt_star(omega=omega),
+                       expected=specs[bench].expected_output,
+                       trials=trials, seed=seed, key=(bench, omega))
+             for bench in benchmarks for omega in omegas]
+    success: Dict[str, Dict[float, float]] = {b: {} for b in benchmarks}
+    for result in run_sweep(cells, workers=workers):
+        bench, omega = result.key
+        success[bench][omega] = result.success_rate
     return OmegaSweepResult(omegas=list(omegas), success=success)
 
 
@@ -87,20 +87,22 @@ class PeepholeAblationResult:
 
 def run_peephole_ablation(calibration: Optional[Calibration] = None,
                           trials: int = DEFAULT_TRIALS, seed: int = 7,
-                          subset: Optional[List[str]] = None
-                          ) -> PeepholeAblationResult:
+                          subset: Optional[List[str]] = None,
+                          workers: int = 0) -> PeepholeAblationResult:
     """Effect of adjacent-inverse cancellation on the Qiskit baseline."""
     cal = calibration or default_ibmq16_calibration()
-    tables = ReliabilityTables(cal)
+    bench_list = list(all_benchmarks(subset))
+    cells = [SweepCell(circuit=circuit, calibration=cal,
+                       options=CompilerOptions.qiskit().with_(
+                           peephole=peephole),
+                       expected=expected, trials=trials, seed=seed,
+                       key=(name, peephole))
+             for name, circuit, expected in bench_list
+             for peephole in (False, True)]
+    by_key = run_sweep(cells, workers=workers).by_key()
     rows = []
-    for name, circuit, expected in all_benchmarks(subset):
-        plain = compile_and_run(circuit, expected, cal,
-                                CompilerOptions.qiskit(),
-                                tables=tables, trials=trials, seed=seed)
-        tidy = compile_and_run(
-            circuit, expected, cal,
-            CompilerOptions.qiskit().with_(peephole=True),
-            tables=tables, trials=trials, seed=seed)
+    for name, _, _ in bench_list:
+        plain, tidy = by_key[(name, False)], by_key[(name, True)]
         rows.append((
             name,
             plain.compiled.physical.circuit.cnot_count(),
@@ -135,8 +137,8 @@ class ConventionAblationResult:
 
 def run_convention_ablation(calibration: Optional[Calibration] = None,
                             trials: int = DEFAULT_TRIALS, seed: int = 7,
-                            subset: Optional[List[str]] = None
-                            ) -> ConventionAblationResult:
+                            subset: Optional[List[str]] = None,
+                            workers: int = 0) -> ConventionAblationResult:
     """Which reliability convention predicts measured success better?
 
     The executed circuit really does swap back, so the round-trip
@@ -144,13 +146,14 @@ def run_convention_ablation(calibration: Optional[Calibration] = None,
     mappings; on zero-swap mappings the two coincide.
     """
     cal = calibration or default_ibmq16_calibration()
-    tables = ReliabilityTables(cal)
+    cells = [SweepCell(circuit=circuit, calibration=cal,
+                       options=CompilerOptions.qiskit(),
+                       expected=expected, trials=trials, seed=seed,
+                       key=name)
+             for name, circuit, expected in all_benchmarks(subset)]
     rows = []
-    for name, circuit, expected in all_benchmarks(subset):
-        run = compile_and_run(circuit, expected, cal,
-                              CompilerOptions.qiskit(),
-                              tables=tables, trials=trials, seed=seed)
-        est = run.compiled.reliability
-        rows.append((name, est.score, est.round_trip_score,
-                     run.success_rate))
+    for result in run_sweep(cells, workers=workers):
+        est = result.compiled.reliability
+        rows.append((result.key, est.score, est.round_trip_score,
+                     result.success_rate))
     return ConventionAblationResult(rows=rows)

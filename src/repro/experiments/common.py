@@ -1,20 +1,37 @@
-"""Shared utilities for the per-figure experiment harnesses."""
+"""Shared utilities for the per-figure experiment harnesses.
+
+Since the sweep runtime landed, every harness expresses its grid as
+:class:`~repro.runtime.SweepCell` lists executed by
+:func:`~repro.runtime.run_sweep` (serially by default; pass
+``workers >= 2`` to fan out over a process pool — results are
+bit-identical either way). :func:`compile_and_run` survives as the
+single-cell wrapper so pre-sweep call sites keep working.
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
-from repro.compiler import CompiledProgram, CompilerOptions, compile_circuit
+from repro.compiler import CompiledProgram, CompilerOptions
 from repro.hardware import Calibration, ReliabilityTables
 from repro.ir.circuit import Circuit
-from repro.simulator import ExecutionResult, execute
+from repro.runtime import (
+    DEFAULT_TRIALS,
+    CompileCache,
+    SweepCell,
+    SweepResult,
+    TraceCache,
+    run_cell,
+    run_sweep,
+)
+from repro.simulator import ExecutionResult
 
-#: Default shot count for experiment runs. The paper uses 8192 on
-#: hardware; 1024 simulated trials gives ~1.5% standard error, plenty to
-#: resolve the multi-x effects under study, at an eighth of the cost.
-DEFAULT_TRIALS = 1024
+# DEFAULT_TRIALS (re-exported from repro.runtime, the single source of
+# truth): the paper uses 8192 hardware shots; 1024 simulated trials
+# gives ~1.5% standard error, plenty to resolve the multi-x effects
+# under study, at an eighth of the cost.
 
 
 def geometric_mean(values: Iterable[float]) -> float:
@@ -74,20 +91,55 @@ def compile_and_run(circuit: Circuit, expected: str,
                     tables: Optional[ReliabilityTables] = None,
                     trials: int = DEFAULT_TRIALS, seed: int = 7,
                     simulate: bool = True,
-                    engine: str = "batched") -> BenchmarkRun:
+                    engine: str = "batched",
+                    compile_cache: Optional[CompileCache] = None,
+                    trace_cache: Optional[TraceCache] = None
+                    ) -> BenchmarkRun:
     """Compile a benchmark and (optionally) execute it on the simulator.
 
-    All figure/table harnesses run on the vectorized batched executor
-    by default; pass ``engine="trial"`` to cross-check a result against
-    the legacy per-trial engine.
+    A thin single-cell wrapper over the sweep runtime
+    (:mod:`repro.runtime`): multi-cell grids should build
+    :class:`~repro.runtime.SweepCell` lists and call
+    :func:`~repro.runtime.run_sweep` instead, which adds cross-cell
+    compile/trace caching and parallel execution. Pass a shared
+    ``compile_cache``/``trace_cache`` here to get the same reuse across
+    repeated single-cell calls.
     """
-    compiled = compile_circuit(circuit, calibration, options, tables=tables)
-    execution = None
-    if simulate:
-        execution = execute(compiled, calibration, trials=trials, seed=seed,
-                            expected=expected, engine=engine)
+    compile_cache = compile_cache if compile_cache is not None \
+        else CompileCache()
+    if tables is not None:
+        compile_cache.seed_tables(calibration, tables)
+    cell = SweepCell(circuit=circuit, calibration=calibration,
+                     options=options, expected=expected, trials=trials,
+                     seed=seed, simulate=simulate, engine=engine,
+                     key=circuit.name)
+    result = run_cell(cell, compile_cache,
+                      trace_cache if trace_cache is not None
+                      else TraceCache())
     return BenchmarkRun(benchmark=circuit.name, variant=options.variant,
-                        compiled=compiled, execution=execution)
+                        compiled=result.compiled, execution=result.execution)
+
+
+def run_benchmark_grid(cells: Sequence[SweepCell], workers: int = 0
+                       ) -> Tuple[Dict[str, Dict[str, BenchmarkRun]],
+                                  SweepResult]:
+    """Execute cells keyed ``(benchmark, label)`` and file the results.
+
+    The common shape of fig5/fig7/fig9/fig10: a benchmark x variant
+    grid whose results are consumed as ``runs[benchmark][label]``.
+
+    Returns:
+        (nested run dict, the raw :class:`~repro.runtime.SweepResult`
+        with cache/time stats).
+    """
+    sweep = run_sweep(cells, workers=workers)
+    runs: Dict[str, Dict[str, BenchmarkRun]] = {}
+    for result in sweep:
+        bench, label = result.key
+        runs.setdefault(bench, {})[label] = BenchmarkRun(
+            benchmark=bench, variant=label, compiled=result.compiled,
+            execution=result.execution)
+    return runs, sweep
 
 
 def variant_label(options: CompilerOptions) -> str:

@@ -14,10 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.compiler import CompilerOptions, compile_circuit
+from repro.compiler import CompilerOptions
 from repro.hardware import CalibrationGenerator, square_topology
 from repro.experiments.common import format_table
 from repro.programs import random_circuit
+from repro.runtime import SweepCell, run_sweep
 
 #: The paper's full grid; the default run trims it to keep wall time sane.
 PAPER_QUBITS = (4, 8, 32, 128)
@@ -72,39 +73,50 @@ def run_fig11(smt_qubits: Sequence[int] = DEFAULT_SMT_QUBITS,
               greedy_qubits: Sequence[int] = DEFAULT_GREEDY_QUBITS,
               gate_counts: Sequence[int] = DEFAULT_GATES,
               smt_time_cap: float = 10.0,
-              seed: int = 2019) -> Fig11Result:
+              seed: int = 2019,
+              workers: int = 0) -> Fig11Result:
     """Reproduce Figure 11's compile-time sweep.
 
     Args:
         smt_time_cap: Per-compile budget for R-SMT*; samples hitting it
             are flagged truncated (their true cost is higher — the
             paper reports 3 hours at 32 qubits / 384 gates).
+        workers: Parallel compile workers. Every point is a distinct
+            configuration, so this sweep exercises pure scale-out (no
+            cache reuse). Per-point ``compile_time`` is wall-clock
+            measured inside the worker: on a host with spare cores the
+            fan-out leaves it untouched, but oversubscribed workers
+            contend for CPU and inflate it (and near-cap SMT points
+            may truncate earlier) — keep the published scaling curve
+            serial and use workers for smoke runs.
     """
-    points: List[ScalePoint] = []
     calibrations = {}
     for n_qubits in sorted(set(smt_qubits) | set(greedy_qubits)):
         topo = square_topology(max(n_qubits, 4))
         calibrations[n_qubits] = CalibrationGenerator(
             topo, seed=seed).snapshot(0)
 
-    for n_qubits in greedy_qubits:
-        for n_gates in gate_counts:
-            circuit = random_circuit(n_qubits, n_gates,
-                                     seed=seed + n_qubits * 10000 + n_gates)
-            compiled = compile_circuit(circuit, calibrations[n_qubits],
-                                       CompilerOptions.greedy_e())
-            points.append(ScalePoint("greedye*", n_qubits, n_gates,
-                                     compiled.compile_time, False))
+    smt_options = CompilerOptions.r_smt_star().with_(
+        solver_time_limit=smt_time_cap)
+    cells = []
+    for variant, qubit_list, options in (
+            ("greedye*", greedy_qubits, CompilerOptions.greedy_e()),
+            ("r-smt*", smt_qubits, smt_options)):
+        for n_qubits in qubit_list:
+            for n_gates in gate_counts:
+                circuit = random_circuit(
+                    n_qubits, n_gates,
+                    seed=seed + n_qubits * 10000 + n_gates)
+                cells.append(SweepCell(
+                    circuit=circuit, calibration=calibrations[n_qubits],
+                    options=options, simulate=False,
+                    key=(variant, n_qubits, n_gates)))
 
-    for n_qubits in smt_qubits:
-        for n_gates in gate_counts:
-            circuit = random_circuit(n_qubits, n_gates,
-                                     seed=seed + n_qubits * 10000 + n_gates)
-            options = CompilerOptions.r_smt_star().with_(
-                solver_time_limit=smt_time_cap)
-            compiled = compile_circuit(circuit, calibrations[n_qubits],
-                                       options)
-            points.append(ScalePoint("r-smt*", n_qubits, n_gates,
-                                     compiled.compile_time,
-                                     not compiled.mapping.optimal))
+    points: List[ScalePoint] = []
+    for result in run_sweep(cells, workers=workers):
+        variant, n_qubits, n_gates = result.key
+        truncated = (variant == "r-smt*"
+                     and not result.compiled.mapping.optimal)
+        points.append(ScalePoint(variant, n_qubits, n_gates,
+                                 result.compiled.compile_time, truncated))
     return Fig11Result(points=points)

@@ -17,12 +17,13 @@ from repro.compiler import CompilerOptions
 from repro.experiments.common import (
     DEFAULT_TRIALS,
     BenchmarkRun,
-    compile_and_run,
     format_table,
     geometric_mean,
+    run_benchmark_grid,
 )
-from repro.hardware import Calibration, ReliabilityTables, default_ibmq16_calibration
+from repro.hardware import Calibration, default_ibmq16_calibration
 from repro.programs import all_benchmarks
+from repro.runtime import SweepCell
 
 
 @dataclass
@@ -68,18 +69,17 @@ class Fig5Result:
 
 def run_fig5(calibration: Optional[Calibration] = None,
              trials: int = DEFAULT_TRIALS, seed: int = 7,
-             subset: Optional[List[str]] = None) -> Fig5Result:
+             subset: Optional[List[str]] = None,
+             workers: int = 0) -> Fig5Result:
     """Reproduce Figure 5 on the given calibration snapshot."""
     cal = calibration or default_ibmq16_calibration()
-    tables = ReliabilityTables(cal)
     configs = [CompilerOptions.qiskit(),
                CompilerOptions.t_smt_star(routing="1bp"),
                CompilerOptions.r_smt_star(omega=0.5)]
-    runs: Dict[str, Dict[str, BenchmarkRun]] = {}
-    for name, circuit, expected in all_benchmarks(subset):
-        runs[name] = {}
-        for options in configs:
-            run = compile_and_run(circuit, expected, cal, options,
-                                  tables=tables, trials=trials, seed=seed)
-            runs[name][options.variant] = run
+    cells = [SweepCell(circuit=circuit, calibration=cal, options=options,
+                       expected=expected, trials=trials, seed=seed,
+                       key=(name, options.variant))
+             for name, circuit, expected in all_benchmarks(subset)
+             for options in configs]
+    runs, _ = run_benchmark_grid(cells, workers=workers)
     return Fig5Result(runs=runs, variants=[c.variant for c in configs])

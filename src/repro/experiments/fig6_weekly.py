@@ -14,11 +14,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.compiler import CompilerOptions
 from repro.experiments.common import (
     DEFAULT_TRIALS,
-    compile_and_run,
     format_table,
 )
-from repro.hardware import CalibrationGenerator, ReliabilityTables, ibmq16_topology
+from repro.hardware import CalibrationGenerator, ibmq16_topology
 from repro.programs import get_benchmark
+from repro.runtime import SweepCell, run_sweep
 
 DEFAULT_BENCHMARKS = ("BV4", "HS6", "Toffoli")
 
@@ -50,22 +50,28 @@ class Fig6Result:
 
 def run_fig6(days: int = 7, trials: int = DEFAULT_TRIALS, seed: int = 7,
              generator_seed: int = 2019,
-             benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS) -> Fig6Result:
+             benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS,
+             workers: int = 0) -> Fig6Result:
     """Reproduce Figure 6's week-long study."""
     generator = CalibrationGenerator(ibmq16_topology(), seed=generator_seed)
     configs = [CompilerOptions.t_smt_star(routing="1bp"),
                CompilerOptions.r_smt_star(omega=0.5)]
+    # Benchmarks don't change day to day: build each circuit once and
+    # share it across every (day, variant) cell.
+    specs = {b: get_benchmark(b) for b in benchmarks}
+    circuits = {b: spec.build() for b, spec in specs.items()}
+    cells = [SweepCell(circuit=circuits[bench], calibration=cal,
+                       options=options,
+                       expected=specs[bench].expected_output,
+                       trials=trials, seed=seed + day,
+                       key=(bench, options.variant, day))
+             for day, cal in enumerate(generator.days(days))
+             for bench in benchmarks
+             for options in configs]
+
     success: Dict[str, Dict[str, List[float]]] = {
         b: {c.variant: [] for c in configs} for b in benchmarks}
-
-    for day in range(days):
-        cal = generator.snapshot(day)
-        tables = ReliabilityTables(cal)
-        for bench in benchmarks:
-            spec = get_benchmark(bench)
-            for options in configs:
-                run = compile_and_run(spec.build(), spec.expected_output,
-                                      cal, options, tables=tables,
-                                      trials=trials, seed=seed + day)
-                success[bench][options.variant].append(run.success_rate)
+    for result in run_sweep(cells, workers=workers):
+        bench, variant, _day = result.key
+        success[bench][variant].append(result.success_rate)
     return Fig6Result(days=days, success=success)

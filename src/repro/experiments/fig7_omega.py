@@ -16,11 +16,12 @@ from repro.compiler import CompilerOptions
 from repro.experiments.common import (
     DEFAULT_TRIALS,
     BenchmarkRun,
-    compile_and_run,
     format_table,
+    run_benchmark_grid,
 )
-from repro.hardware import Calibration, ReliabilityTables, default_ibmq16_calibration
+from repro.hardware import Calibration, default_ibmq16_calibration
 from repro.programs import get_benchmark
+from repro.runtime import SweepCell
 
 DEFAULT_BENCHMARKS = ("BV4", "HS6", "Toffoli")
 DEFAULT_OMEGAS = (1.0, 0.0, 0.5)
@@ -57,21 +58,22 @@ class Fig7Result:
 def run_fig7(calibration: Optional[Calibration] = None,
              trials: int = DEFAULT_TRIALS, seed: int = 7,
              benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS,
-             omegas: Tuple[float, ...] = DEFAULT_OMEGAS) -> Fig7Result:
+             omegas: Tuple[float, ...] = DEFAULT_OMEGAS,
+             workers: int = 0) -> Fig7Result:
     """Reproduce Figure 7's objective-function study."""
     cal = calibration or default_ibmq16_calibration()
-    tables = ReliabilityTables(cal)
     configs: List[Tuple[str, CompilerOptions]] = \
         [("t-smt*", CompilerOptions.t_smt_star(routing="1bp"))]
     for omega in omegas:
         configs.append((f"r-smt*(w={omega:g})",
                         CompilerOptions.r_smt_star(omega=omega)))
-    runs: Dict[str, Dict[str, BenchmarkRun]] = {}
-    for bench in benchmarks:
-        spec = get_benchmark(bench)
-        runs[bench] = {}
-        for label, options in configs:
-            runs[bench][label] = compile_and_run(
-                spec.build(), spec.expected_output, cal, options,
-                tables=tables, trials=trials, seed=seed)
+    specs = {b: get_benchmark(b) for b in benchmarks}
+    circuits = {b: spec.build() for b, spec in specs.items()}
+    cells = [SweepCell(circuit=circuits[bench], calibration=cal,
+                       options=options,
+                       expected=specs[bench].expected_output,
+                       trials=trials, seed=seed, key=(bench, label))
+             for bench in benchmarks
+             for label, options in configs]
+    runs, _ = run_benchmark_grid(cells, workers=workers)
     return Fig7Result(runs=runs, labels=[label for label, _ in configs])

@@ -14,9 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.compiler import CompiledProgram, CompilerOptions, compile_circuit
-from repro.hardware import Calibration, ReliabilityTables, default_ibmq16_calibration
+from repro.compiler import CompiledProgram, CompilerOptions
+from repro.hardware import Calibration, default_ibmq16_calibration
 from repro.programs import get_benchmark
+from repro.runtime import SweepCell, run_sweep
 
 
 @dataclass
@@ -58,18 +59,20 @@ class Fig8Result:
 
 
 def run_fig8(calibration: Optional[Calibration] = None,
-             benchmark: str = "BV4") -> Fig8Result:
+             benchmark: str = "BV4", workers: int = 0) -> Fig8Result:
     """Reproduce Figure 8's mapping comparison."""
     cal = calibration or default_ibmq16_calibration()
-    tables = ReliabilityTables(cal)
     spec = get_benchmark(benchmark)
+    circuit = spec.build()
     configs: List[Tuple[str, CompilerOptions]] = [
         ("qiskit", CompilerOptions.qiskit()),
         ("t-smt*", CompilerOptions.t_smt_star(routing="1bp")),
         ("r-smt*(w=1)", CompilerOptions.r_smt_star(omega=1.0)),
         ("r-smt*(w=0.5)", CompilerOptions.r_smt_star(omega=0.5)),
     ]
-    compiled = {label: compile_circuit(spec.build(), cal, options,
-                                       tables=tables)
-                for label, options in configs}
+    cells = [SweepCell(circuit=circuit, calibration=cal, options=options,
+                       simulate=False, key=label)
+             for label, options in configs]
+    compiled = {result.key: result.compiled
+                for result in run_sweep(cells, workers=workers)}
     return Fig8Result(compiled=compiled, calibration=cal)

@@ -17,12 +17,13 @@ from typing import Dict, List, Optional
 from repro.compiler import CompilerOptions
 from repro.experiments.common import (
     BenchmarkRun,
-    compile_and_run,
     format_table,
     geometric_mean,
+    run_benchmark_grid,
 )
-from repro.hardware import Calibration, ReliabilityTables, default_ibmq16_calibration
+from repro.hardware import Calibration, default_ibmq16_calibration
 from repro.programs import all_benchmarks
+from repro.runtime import SweepCell
 
 
 @dataclass
@@ -52,21 +53,20 @@ class Fig9Result:
 
 
 def run_fig9(calibration: Optional[Calibration] = None,
-             subset: Optional[List[str]] = None) -> Fig9Result:
+             subset: Optional[List[str]] = None,
+             workers: int = 0) -> Fig9Result:
     """Reproduce Figure 9 (compile-only; no simulation needed)."""
     cal = calibration or default_ibmq16_calibration()
-    tables = ReliabilityTables(cal)
     configs = [
         ("t-smt(rr)", CompilerOptions.t_smt(routing="rr")),
         ("t-smt*(rr)", CompilerOptions.t_smt_star(routing="rr")),
         ("t-smt*(1bp)", CompilerOptions.t_smt_star(routing="1bp")),
         ("r-smt*(1bp)", CompilerOptions.r_smt_star(omega=0.5)),
     ]
-    runs: Dict[str, Dict[str, BenchmarkRun]] = {}
-    for name, circuit, expected in all_benchmarks(subset):
-        runs[name] = {}
-        for label, options in configs:
-            runs[name][label] = compile_and_run(
-                circuit, expected, cal, options, tables=tables,
-                simulate=False)
+    cells = [SweepCell(circuit=circuit, calibration=cal, options=options,
+                       expected=expected, simulate=False,
+                       key=(name, label))
+             for name, circuit, expected in all_benchmarks(subset)
+             for label, options in configs]
+    runs, _ = run_benchmark_grid(cells, workers=workers)
     return Fig9Result(runs=runs, labels=[label for label, _ in configs])

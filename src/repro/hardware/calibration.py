@@ -8,6 +8,7 @@ expressed in IBMQ16 timeslots of 80 ns, the unit the paper reports.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import dataclass, field
@@ -154,6 +155,30 @@ class Calibration:
     def swap_reliability(self, a: int, b: int) -> float:
         """Reliability of one SWAP (three CNOTs) on an edge."""
         return self.cnot_reliability(a, b) ** 3
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def content_id(self) -> str:
+        """Stable content hash of the serialized snapshot.
+
+        Two calibrations serializing identically — records, topology
+        and label — share an id regardless of object identity; the
+        sweep runtime's caches key on this. The label is deliberately
+        part of the digest: cached ``CompiledProgram`` artifacts carry
+        ``calibration_label``, so treating same-records/different-label
+        snapshots as distinct trades a few cache misses for never
+        serving a result stamped with another snapshot's label. The
+        digest is computed once and memoized — records are frozen
+        dataclasses and snapshots are treated as immutable throughout
+        the repo, so the cached value stays valid.
+        """
+        cached = getattr(self, "_content_id", None)
+        if cached is None:
+            payload = json.dumps(self.to_dict(), sort_keys=True)
+            cached = self._content_id = \
+                hashlib.sha256(payload.encode()).hexdigest()
+        return cached
 
     # ------------------------------------------------------------------
     # Summary statistics (used by reports and the noise-unaware variants)

@@ -8,6 +8,7 @@ the dependency DAG itself lives in :mod:`repro.ir.dag`.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -194,6 +195,24 @@ class Circuit:
                 a, b = g.qubits
                 weights[(min(a, b), max(a, b))] += 1
         return dict(weights)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the program.
+
+        Two circuits with the same register sizes and the same gate
+        sequence (names, qubits, parameters, cbits) share a
+        fingerprint regardless of ``name`` or object identity; the
+        sweep runtime's compile cache keys on this.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(f"{self.n_qubits},{self.n_cbits};".encode())
+        for g in self._gates:
+            param = "" if g.param is None else repr(g.param)
+            cbit = "" if g.cbit is None else str(g.cbit)
+            hasher.update(
+                f"{g.name}:{','.join(map(str, g.qubits))}"
+                f":{param}:{cbit};".encode())
+        return hasher.hexdigest()
 
     def qubit_degrees(self) -> Dict[int, int]:
         """Number of CNOTs each qubit participates in (GreedyV* ordering)."""

@@ -1,0 +1,39 @@
+"""Scenario-sweep runtime: declarative grids, process-pool execution,
+and content-addressed compile/trace caching.
+
+The experiment harnesses (``repro.experiments``) and the ``repro
+sweep`` CLI subcommand express their (benchmark x variant x calibration
+x seed) grids as :class:`SweepCell` lists and execute them through
+:func:`run_sweep`; see :mod:`repro.runtime.sweep` for the determinism
+and caching contract.
+"""
+
+from repro.runtime.cache import (
+    CacheStats,
+    CompileCache,
+    CompileKey,
+    TraceCache,
+    compile_key,
+)
+from repro.runtime.sweep import (
+    DEFAULT_TRIALS,
+    CellResult,
+    SweepCell,
+    SweepResult,
+    run_cell,
+    run_sweep,
+)
+
+__all__ = [
+    "CacheStats",
+    "CellResult",
+    "CompileCache",
+    "CompileKey",
+    "DEFAULT_TRIALS",
+    "SweepCell",
+    "SweepResult",
+    "TraceCache",
+    "compile_key",
+    "run_cell",
+    "run_sweep",
+]

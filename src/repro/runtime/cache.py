@@ -1,0 +1,165 @@
+"""Content-addressed caches underlying the sweep runtime.
+
+Two cache layers, mirroring the two expensive stages of a scenario
+cell:
+
+* :class:`CompileCache` — compiled programs keyed by (circuit
+  fingerprint, calibration content id, options fingerprint). A sweep
+  grid that varies only seed or trial count pays compilation once per
+  distinct configuration instead of once per cell. The cache also
+  memoizes the :class:`~repro.hardware.ReliabilityTables` built for
+  each calibration snapshot, which every compilation of that snapshot
+  shares.
+* :class:`TraceCache` — lowered
+  :class:`~repro.simulator.trace.ProgramTrace` objects keyed by
+  (compiled-program fingerprint, noise-model key). The batched executor
+  consults it through the ``trace_cache`` hook of
+  :func:`repro.simulator.execute`, so re-executing the same compiled
+  program (new seed, new shot count) skips the flat-array lowering.
+
+Both caches are in-process dictionaries. The parallel sweep path gets
+cross-worker sharing not by a shared store but by scheduling: cells
+with the same compile key are routed to the same worker (see
+:mod:`repro.runtime.sweep`), which makes hit counts deterministic and
+independent of the worker count.
+
+Keys are content hashes, not object identities, so a cache can be
+(re)used across harnesses: fig5 and fig7 both compiling the T-SMT*
+baseline for BV4 on day 0 share one compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.compiler import CompiledProgram, CompilerOptions, compile_circuit
+from repro.hardware import Calibration, ReliabilityTables
+from repro.ir.circuit import Circuit
+from repro.simulator import NoiseModel
+
+#: (circuit fingerprint, calibration content id, options fingerprint).
+CompileKey = Tuple[str, str, str]
+
+
+def compile_key(circuit: Circuit, calibration: Calibration,
+                options: CompilerOptions) -> CompileKey:
+    """The content-addressed identity of one compilation."""
+    return (circuit.fingerprint(), calibration.content_id(),
+            options.fingerprint())
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another counter (e.g. a worker's) into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+
+
+class CompileCache:
+    """Memoizes ``compile_circuit`` results by content key."""
+
+    def __init__(self) -> None:
+        self._programs: Dict[CompileKey, CompiledProgram] = {}
+        self._tables: Dict[str, ReliabilityTables] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def tables_for(self, calibration: Calibration) -> ReliabilityTables:
+        """The (shared) routing tables for a calibration snapshot."""
+        key = calibration.content_id()
+        tables = self._tables.get(key)
+        if tables is None:
+            tables = self._tables[key] = ReliabilityTables(calibration)
+        return tables
+
+    def seed_tables(self, calibration: Calibration,
+                    tables: ReliabilityTables) -> None:
+        """Adopt externally built tables (legacy call sites pass them)."""
+        self._tables.setdefault(calibration.content_id(), tables)
+
+    def get_or_compile(self, circuit: Circuit, calibration: Calibration,
+                       options: CompilerOptions
+                       ) -> Tuple[CompiledProgram, bool]:
+        """Return the compiled program and whether it was a cache hit."""
+        key = compile_key(circuit, calibration, options)
+        program = self._programs.get(key)
+        if program is not None:
+            self.stats.hits += 1
+            return program, True
+        self.stats.misses += 1
+        program = compile_circuit(circuit, calibration, options,
+                                  tables=self.tables_for(calibration))
+        self._programs[key] = program
+        return program, False
+
+
+class TraceCache:
+    """Memoizes batched-engine :class:`ProgramTrace` lowerings.
+
+    Passed to :func:`repro.simulator.execute` via its ``trace_cache``
+    argument. Only plain :class:`NoiseModel` instances (whose behavior
+    is fully determined by calibration content and the mechanism flags)
+    are cached; exotic subclasses bypass the cache unless they provide
+    their own ``trace_key()`` describing their full configuration.
+    """
+
+    def __init__(self) -> None:
+        self._traces: Dict[tuple, object] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    @staticmethod
+    def _key(compiled: CompiledProgram, noise: NoiseModel,
+             calibration: Calibration) -> Optional[tuple]:
+        custom = getattr(noise, "trace_key", None)
+        if custom is not None:
+            noise_key = custom()
+        elif type(noise) is NoiseModel:
+            noise_key = (noise.calibration.content_id(),
+                         noise.gate_errors, noise.decoherence,
+                         noise.readout_errors, noise.crosstalk_factor)
+        else:
+            return None  # unknown subclass state: don't risk stale traces
+        # The execute-time calibration is keyed separately from the
+        # noise model's: its topology shapes the trace's crosstalk
+        # sites, and execute() supports running under a different
+        # snapshot than the noise model was built on.
+        return (compiled.fingerprint(), calibration.content_id(), noise_key)
+
+    def get(self, compiled: CompiledProgram, noise: NoiseModel,
+            calibration: Calibration):
+        """The cached trace, or ``None`` (counted as a miss)."""
+        key = self._key(compiled, noise, calibration)
+        if key is None:
+            return None
+        trace = self._traces.get(key)
+        if trace is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return trace
+
+    def put(self, compiled: CompiledProgram, noise: NoiseModel,
+            calibration: Calibration, trace) -> None:
+        key = self._key(compiled, noise, calibration)
+        if key is not None:
+            self._traces[key] = trace

@@ -1,0 +1,71 @@
+"""Process-pool execution of sweep-cell batches.
+
+The sweep runtime partitions a grid into batches of (index, cell)
+pairs — one batch per worker, with all cells sharing a compile key
+placed in the same batch — and this module fans the batches out over a
+``multiprocessing`` pool. Each worker builds its own
+:class:`~repro.runtime.cache.CompileCache`/:class:`~repro.runtime.cache.TraceCache`
+pair, runs its batch, and ships back the per-cell results plus its
+cache counters, which the parent merges.
+
+The ``fork`` start method is preferred (workers inherit the already
+imported interpreter state, so startup is milliseconds); platforms
+without it fall back to the default context, which works because the
+batch runner is a top-level function and every object crossing the
+pipe (cells in, results out) is picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Sequence, Tuple
+
+from repro.runtime.cache import CacheStats, CompileCache, TraceCache
+
+#: One unit of pool work: the cell plus its position in the grid.
+IndexedCell = Tuple[int, "SweepCell"]  # noqa: F821 — see runtime.sweep
+
+
+def _run_batch(batch: Sequence[IndexedCell]):
+    """Worker entry point: run one batch with worker-local caches."""
+    from repro.runtime.sweep import run_cell
+
+    compile_cache = CompileCache()
+    trace_cache = TraceCache()
+    results = [(index, run_cell(cell, compile_cache, trace_cache))
+               for index, cell in batch]
+    return results, compile_cache.stats, trace_cache.stats
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context used for sweep pools."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_batches(batches: Sequence[Sequence[IndexedCell]], workers: int
+                ) -> Tuple[list, CacheStats, CacheStats]:
+    """Run cell batches across *workers* processes.
+
+    Args:
+        batches: Pre-partitioned (index, cell) groups; cells sharing a
+            compile key must sit in the same batch for the caches to
+            behave deterministically.
+        workers: Pool size; capped at the number of batches.
+
+    Returns:
+        (flat list of (index, result) pairs, merged compile-cache
+        stats, merged trace-cache stats).
+    """
+    workers = min(workers, len(batches))
+    compile_stats = CacheStats()
+    trace_stats = CacheStats()
+    indexed: List[tuple] = []
+    with pool_context().Pool(processes=workers) as pool:
+        for results, cstats, tstats in pool.map(_run_batch, batches):
+            indexed.extend(results)
+            compile_stats.merge(cstats)
+            trace_stats.merge(tstats)
+    return indexed, compile_stats, trace_stats

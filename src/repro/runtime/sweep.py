@@ -1,0 +1,250 @@
+"""Declarative scenario sweeps with deterministic parallel execution.
+
+An experiment is expressed as a flat grid of :class:`SweepCell` values
+— (circuit, options, calibration, trials, seed, engine) — and handed to
+:func:`run_sweep`, which executes the cells serially or across a
+process pool and returns per-cell results in grid order.
+
+Three properties the figure harnesses rely on:
+
+* **Determinism** — a cell's result is a pure function of the cell:
+  compilation is deterministic (branch-and-bound with a fixed
+  expansion order) and execution draws from
+  ``np.random.default_rng(cell.seed)``. Parallel runs are therefore
+  bit-identical to serial runs at any worker count — with one caveat:
+  a solve that hits its ``solver_time_limit`` truncates on wall-clock
+  time, so cells near the cap (fig11's scaling points) may settle on a
+  different incumbent under load. Paper-scale cells finish orders of
+  magnitude under the default limit and are unaffected.
+* **Cross-cell caching** — cells sharing a compile key (circuit
+  fingerprint, calibration id, options fingerprint) share one
+  compilation, and cells additionally sharing a noise model share one
+  lowered :class:`~repro.simulator.trace.ProgramTrace`; only the
+  sampling stage is paid per cell. See :mod:`repro.runtime.cache`.
+* **Placement-aware scheduling** — the parallel path groups cells by
+  compile key and assigns whole groups to workers, so every duplicate
+  configuration lands where its compilation is cached. Cache hit
+  counts are thus the same at every worker count (and equal to the
+  serial path's), not an accident of scheduling. The deliberate
+  tradeoff: a grid dominated by one giant group parallelizes poorly
+  (a single-group grid runs serially) — splitting groups would buy
+  pool width at the cost of duplicate compiles and scheduling-
+  dependent hit counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.compiler import CompiledProgram, CompilerOptions
+from repro.exceptions import ReproError
+from repro.hardware import Calibration
+from repro.ir.circuit import Circuit
+from repro.runtime.cache import (
+    CacheStats,
+    CompileCache,
+    CompileKey,
+    TraceCache,
+    compile_key,
+)
+from repro.simulator import ExecutionResult, execute
+
+#: Default shot count per cell — the repo-wide source of truth
+#: (``repro.experiments`` re-exports it). The paper uses 8192 hardware
+#: shots; 1024 simulated trials gives ~1.5% standard error.
+DEFAULT_TRIALS = 1024
+
+
+@dataclass
+class SweepCell:
+    """One point of an experiment grid.
+
+    Attributes:
+        circuit: The logical program to compile.
+        calibration: Machine snapshot to compile for and execute under.
+        options: Compiler configuration.
+        expected: The benchmark's known answer (success-rate accounting).
+        trials: Shot count.
+        seed: Per-cell master RNG seed. Seeding is the cell's own
+            responsibility precisely so that execution order — serial,
+            parallel, any worker count — cannot change results.
+        simulate: When ``False``, compile only (fig8/fig9/fig11 style).
+        engine: Executor engine (``"batched"`` or ``"trial"``).
+        key: Free-form hashable identifier the harness uses to file the
+            result (e.g. ``("BV4", "r-smt*", day)``).
+    """
+
+    circuit: Circuit
+    calibration: Calibration
+    options: CompilerOptions
+    expected: Optional[str] = None
+    trials: int = DEFAULT_TRIALS
+    seed: int = 7
+    simulate: bool = True
+    engine: str = "batched"
+    key: Hashable = None
+
+    def compile_key(self) -> CompileKey:
+        """Content key of this cell's compilation stage."""
+        return compile_key(self.circuit, self.calibration, self.options)
+
+
+@dataclass
+class CellResult:
+    """Outcome of one sweep cell.
+
+    Attributes:
+        key: The cell's identifier, copied through.
+        compiled: The compiled artifact (possibly shared with other
+            cells via the compile cache).
+        execution: Monte-Carlo outcome (``None`` for compile-only cells).
+        compile_cache_hit: Whether compilation was served from cache.
+        trace_cache_hit: Whether the lowered trace was served from cache.
+    """
+
+    key: Hashable
+    compiled: CompiledProgram
+    execution: Optional[ExecutionResult] = None
+    compile_cache_hit: bool = False
+    trace_cache_hit: bool = False
+
+    @property
+    def success_rate(self) -> float:
+        if self.execution is None:
+            raise ReproError(f"cell {self.key!r} was not simulated")
+        return self.execution.success_rate
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one sweep, in grid order, plus cache stats.
+
+    Attributes:
+        results: One :class:`CellResult` per input cell, same order.
+        compile_stats: Aggregated compile-cache counters.
+        trace_stats: Aggregated trace-cache counters.
+        wall_time: End-to-end sweep seconds.
+        workers: Pool size used (0 = in-process serial).
+    """
+
+    results: List[CellResult]
+    compile_stats: CacheStats
+    trace_stats: CacheStats
+    wall_time: float = 0.0
+    workers: int = 0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def by_key(self) -> Dict[Hashable, CellResult]:
+        """Results indexed by cell key (keys must be unique)."""
+        out: Dict[Hashable, CellResult] = {}
+        for result in self.results:
+            if result.key in out:
+                raise ReproError(f"duplicate sweep cell key {result.key!r}")
+            out[result.key] = result
+        return out
+
+    def summary(self) -> str:
+        """One-line cache/throughput description."""
+        return (f"{len(self.results)} cells in {self.wall_time:.2f}s "
+                f"(workers={self.workers}): compile cache "
+                f"{self.compile_stats.hits}/{self.compile_stats.lookups} hit, "
+                f"trace cache "
+                f"{self.trace_stats.hits}/{self.trace_stats.lookups} hit")
+
+
+def run_cell(cell: SweepCell, compile_cache: CompileCache,
+             trace_cache: TraceCache) -> CellResult:
+    """Execute one cell against the given caches."""
+    compiled, compile_hit = compile_cache.get_or_compile(
+        cell.circuit, cell.calibration, cell.options)
+    execution = None
+    trace_hit = False
+    if cell.simulate:
+        hits_before = trace_cache.stats.hits
+        execution = execute(compiled, cell.calibration, trials=cell.trials,
+                            seed=cell.seed, expected=cell.expected,
+                            engine=cell.engine, trace_cache=trace_cache)
+        trace_hit = trace_cache.stats.hits > hits_before
+    return CellResult(key=cell.key, compiled=compiled, execution=execution,
+                      compile_cache_hit=compile_hit,
+                      trace_cache_hit=trace_hit)
+
+
+def _partition(cells: Sequence[SweepCell], workers: int
+               ) -> List[List[Tuple[int, SweepCell]]]:
+    """Split cells into per-worker batches along compile-key groups.
+
+    Whole groups (cells sharing a compile key) go to one worker, so
+    each distinct configuration compiles exactly once somewhere.
+    Groups are dealt largest-first onto the currently lightest batch
+    (ties broken by batch index), which is deterministic and keeps the
+    per-worker cell counts balanced.
+    """
+    groups: Dict[CompileKey, List[Tuple[int, SweepCell]]] = {}
+    for index, cell in enumerate(cells):
+        groups.setdefault(cell.compile_key(), []).append((index, cell))
+    ordered = sorted(groups.values(), key=lambda g: (-len(g), g[0][0]))
+    batches: List[List[Tuple[int, SweepCell]]] = \
+        [[] for _ in range(min(workers, len(ordered)))]
+    for group in ordered:
+        lightest = min(range(len(batches)), key=lambda b: (len(batches[b]), b))
+        batches[lightest].extend(group)
+    return [b for b in batches if b]
+
+
+def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
+              compile_cache: Optional[CompileCache] = None,
+              trace_cache: Optional[TraceCache] = None) -> SweepResult:
+    """Execute a sweep grid, serially or across a process pool.
+
+    Args:
+        cells: The grid. Order is preserved in the result.
+        workers: ``0`` or ``1`` runs in-process; ``>= 2`` fans compile-key
+            groups out over that many worker processes.
+        compile_cache: Optional shared cache for the in-process path —
+            pass one to accumulate compilations across several sweeps
+            (e.g. chained experiments on the same snapshot). Workers
+            always build their own (in-process object caches don't
+            cross the process boundary), so these arguments apply to
+            the serial path only.
+        trace_cache: As above, for lowered traces.
+
+    Returns:
+        :class:`SweepResult` with per-cell results in input order.
+    """
+    cells = list(cells)
+    start = time.perf_counter()
+    if workers >= 2 and len(cells) > 1:
+        batches = _partition(cells, workers)
+        if len(batches) >= 2:
+            # Imported here, not at module top: pool's worker entry
+            # point imports this module back (lazily) for run_cell.
+            from repro.runtime.pool import run_batches
+
+            indexed, compile_stats, trace_stats = \
+                run_batches(batches, workers)
+            results: List[Optional[CellResult]] = [None] * len(cells)
+            for index, result in indexed:
+                results[index] = result
+            return SweepResult(results=results,
+                               compile_stats=compile_stats,
+                               trace_stats=trace_stats,
+                               wall_time=time.perf_counter() - start,
+                               workers=len(batches))
+        # A single compile-key group has no parallelism to exploit:
+        # the in-process path below serves it without fork overhead.
+
+    compile_cache = compile_cache if compile_cache is not None \
+        else CompileCache()
+    trace_cache = trace_cache if trace_cache is not None else TraceCache()
+    results = [run_cell(cell, compile_cache, trace_cache) for cell in cells]
+    return SweepResult(results=results, compile_stats=compile_cache.stats,
+                       trace_stats=trace_cache.stats,
+                       wall_time=time.perf_counter() - start, workers=0)

@@ -140,7 +140,8 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
             trials: int = 1024, seed: int = 0,
             expected: Optional[str] = None,
             noise_model: Optional[NoiseModel] = None,
-            engine: str = "batched") -> ExecutionResult:
+            engine: str = "batched",
+            trace_cache=None) -> ExecutionResult:
     """Run *compiled* for *trials* shots on the noisy simulator.
 
     Args:
@@ -156,6 +157,12 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
             (legacy per-trial loop); both sample the same law. Noise
             models overriding the per-trial ``sample_*`` hooks always
             run on the trial engine.
+        trace_cache: Optional :class:`repro.runtime.cache.TraceCache`
+            (or anything with the same ``get``/``put`` signature).
+            When given, the batched engine reuses a previously lowered
+            :class:`ProgramTrace` for the same (compiled program, noise
+            model) pair instead of re-lowering, which is the dominant
+            per-call cost when sweeping seeds or trial counts.
 
     Returns:
         Counts plus success-rate/overlap accessors.
@@ -170,17 +177,26 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
         # just the probability accessors the trace reads) would be
         # silently ignored by the batched lowering; honor it instead.
         engine = "trial"
-    compact = CompactProgram(compiled.physical.circuit,
-                             compiled.physical.times,
-                             topology=calibration.topology)
     rng = np.random.default_rng(seed)
 
     if engine == "batched":
-        trace = ProgramTrace(compact, noise)
+        trace = (trace_cache.get(compiled, noise, calibration)
+                 if trace_cache is not None else None)
+        if trace is None:
+            compact = CompactProgram(compiled.physical.circuit,
+                                     compiled.physical.times,
+                                     topology=calibration.topology)
+            trace = ProgramTrace(compact, noise)
+            if trace_cache is not None:
+                trace_cache.put(compiled, noise, calibration, trace)
         counts = run_batched(trace, trials, rng)
         return ExecutionResult(counts=counts, trials=trials,
                                expected=expected,
                                ideal_distribution=trace.ideal_distribution)
+
+    compact = CompactProgram(compiled.physical.circuit,
+                             compiled.physical.times,
+                             topology=calibration.topology)
 
     ideal = _ideal_distribution(compact)
     ideal_outcomes = sorted(ideal)

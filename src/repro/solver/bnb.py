@@ -113,7 +113,17 @@ class _Search:
             for name in c.scope:
                 self.by_var[name].append(c)
 
-    def run(self, assignment: Assignment, domains: Dict[str, set]) -> None:
+    def run(self, assignment: Assignment, domains: Dict[str, set],
+            bound: Optional[float] = None) -> None:
+        """Expand one node.
+
+        Args:
+            bound: The admissible objective bound the parent's value
+                probe already computed for this assignment (over the
+                parent's pre-pruning domains — a superset, so still
+                admissible here). ``None`` at the root or when the
+                parent had no probe; computed fresh then.
+        """
         self._tick()
         unassigned = [v.name for v in self.model.variables
                       if v.name not in assignment]
@@ -121,16 +131,21 @@ class _Search:
             self._record(assignment)
             return
         if self.model.objective is not None and self.best is not None:
-            bound = self.model.objective.bound(assignment, domains)
+            if bound is None:
+                bound = self.model.objective.bound(assignment, domains)
             if bound <= self.best_value + 1e-12:
                 return
         var = min(unassigned, key=lambda n: len(domains[n]))
-        for value in self._ordered_values(var, assignment, domains):
+        for value, child_bound in self._ordered_values(var, assignment,
+                                                       domains):
+            if (child_bound is not None and self.best is not None
+                    and child_bound <= self.best_value + 1e-12):
+                continue  # the probe already proves this subtree beaten
             assignment[var] = value
             if self._consistent(var, assignment):
                 removed = self._forward_check(var, value, assignment, domains)
                 if removed is not None:
-                    self.run(assignment, domains)
+                    self.run(assignment, domains, bound=child_bound)
                     for name, val in removed:
                         domains[name].add(val)
             del assignment[var]
@@ -139,21 +154,29 @@ class _Search:
 
     # ------------------------------------------------------------------
     def _ordered_values(self, var: str, assignment: Assignment,
-                        domains: Dict[str, set]) -> List[int]:
-        """Try the most promising values first (greedy objective probe)."""
+                        domains: Dict[str, set]
+                        ) -> List[Tuple[int, Optional[float]]]:
+        """(value, probed bound) pairs, most promising value first.
+
+        The probe's bound is memoized into the returned pairs so the
+        child node prunes on it directly instead of recomputing the
+        objective bound it just cost one evaluation per value to
+        obtain.
+        """
         values = sorted(domains[var])
         objective = self.model.objective
         if objective is None or len(values) <= 1:
-            return values
+            return [(v, None) for v in values]
 
-        def probe(value: int) -> float:
+        bounds: Dict[int, float] = {}
+        for value in values:
             assignment[var] = value
             try:
-                return objective.bound(assignment, domains)
+                bounds[value] = objective.bound(assignment, domains)
             finally:
                 del assignment[var]
-
-        return sorted(values, key=probe, reverse=True)
+        values.sort(key=bounds.__getitem__, reverse=True)
+        return [(v, bounds[v]) for v in values]
 
     def _consistent(self, var: str, assignment: Assignment) -> bool:
         return all(c.check_partial(assignment) for c in self.by_var[var])

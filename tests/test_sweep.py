@@ -1,0 +1,245 @@
+"""Sweep-runtime tests: fingerprints, caches, parallel determinism."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.exceptions import ReproError
+from repro.experiments import run_fig6
+from repro.experiments.common import compile_and_run
+from repro.hardware import (
+    CalibrationGenerator,
+    default_ibmq16_calibration,
+    ibmq16_topology,
+)
+from repro.programs import get_benchmark
+from repro.runtime import (
+    CompileCache,
+    SweepCell,
+    TraceCache,
+    compile_key,
+    run_sweep,
+)
+from repro.simulator import NoiseModel, execute
+
+TRIALS = 128
+
+
+@pytest.fixture(scope="module")
+def cal():
+    return default_ibmq16_calibration()
+
+
+def make_cells(cal, benchmarks=("BV4", "Toffoli"), seeds=(0, 1),
+               variants=None, trials=TRIALS, simulate=True):
+    variants = variants or [CompilerOptions.t_smt_star(routing="1bp"),
+                            CompilerOptions.r_smt_star(omega=0.5)]
+    cells = []
+    for name in benchmarks:
+        spec = get_benchmark(name)
+        circuit = spec.build()
+        for options in variants:
+            for seed in seeds:
+                cells.append(SweepCell(
+                    circuit=circuit, calibration=cal, options=options,
+                    expected=spec.expected_output, trials=trials,
+                    seed=seed, simulate=simulate,
+                    key=(name, options.variant, seed)))
+    return cells
+
+
+class TestFingerprints:
+    def test_circuit_fingerprint_stable_across_builds(self):
+        spec = get_benchmark("BV4")
+        assert spec.build().fingerprint() == spec.build().fingerprint()
+
+    def test_circuit_fingerprint_ignores_name(self):
+        circuit = get_benchmark("BV4").build()
+        assert circuit.copy(name="other").fingerprint() == \
+            circuit.fingerprint()
+
+    def test_circuit_fingerprint_distinguishes_content(self):
+        bv4 = get_benchmark("BV4").build()
+        bv6 = get_benchmark("BV6").build()
+        assert bv4.fingerprint() != bv6.fingerprint()
+        tweaked = bv4.copy()
+        tweaked.x(0)
+        assert tweaked.fingerprint() != bv4.fingerprint()
+
+    def test_options_fingerprint(self):
+        a = CompilerOptions.r_smt_star(omega=0.5)
+        assert a.fingerprint() == CompilerOptions.r_smt_star().fingerprint()
+        assert a.fingerprint() != \
+            CompilerOptions.r_smt_star(omega=1.0).fingerprint()
+        assert a.fingerprint() != a.with_(peephole=True).fingerprint()
+
+    def test_calibration_content_id(self):
+        generator = CalibrationGenerator(ibmq16_topology(), seed=2019)
+        again = CalibrationGenerator(ibmq16_topology(), seed=2019)
+        assert generator.snapshot(0).content_id() == \
+            again.snapshot(0).content_id()
+        assert generator.snapshot(0).content_id() != \
+            generator.snapshot(1).content_id()
+
+    def test_compiled_fingerprint_stable_across_recompiles(self, cal):
+        circuit = get_benchmark("BV4").build()
+        options = CompilerOptions.r_smt_star()
+        first = compile_circuit(circuit, cal, options)
+        second = compile_circuit(circuit, cal, options)
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_compile_key_components(self, cal):
+        circuit = get_benchmark("BV4").build()
+        options = CompilerOptions.r_smt_star()
+        key = compile_key(circuit, cal, options)
+        assert key == (circuit.fingerprint(), cal.content_id(),
+                       options.fingerprint())
+
+
+class TestCompileCache:
+    def test_hit_on_identical_configuration(self, cal):
+        cache = CompileCache()
+        circuit = get_benchmark("BV4").build()
+        options = CompilerOptions.r_smt_star()
+        first, hit1 = cache.get_or_compile(circuit, cal, options)
+        second, hit2 = cache.get_or_compile(circuit, cal, options)
+        assert (hit1, hit2) == (False, True)
+        assert first is second
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_rebuilt_circuit_still_hits(self, cal):
+        cache = CompileCache()
+        spec = get_benchmark("BV4")
+        options = CompilerOptions.qiskit()
+        cache.get_or_compile(spec.build(), cal, options)
+        _, hit = cache.get_or_compile(spec.build(), cal, options)
+        assert hit
+
+    def test_distinct_options_miss(self, cal):
+        cache = CompileCache()
+        circuit = get_benchmark("BV4").build()
+        cache.get_or_compile(circuit, cal, CompilerOptions.r_smt_star())
+        _, hit = cache.get_or_compile(circuit, cal,
+                                      CompilerOptions.t_smt_star())
+        assert not hit
+        assert len(cache) == 2
+
+    def test_tables_shared_per_calibration(self, cal):
+        cache = CompileCache()
+        assert cache.tables_for(cal) is cache.tables_for(cal)
+
+
+class TestTraceCache:
+    def test_execute_reuses_trace(self, cal):
+        compiled = compile_circuit(get_benchmark("BV4").build(), cal,
+                                   CompilerOptions.r_smt_star())
+        expected = get_benchmark("BV4").expected_output
+        cache = TraceCache()
+        plain = execute(compiled, cal, trials=TRIALS, seed=3,
+                        expected=expected)
+        first = execute(compiled, cal, trials=TRIALS, seed=3,
+                        expected=expected, trace_cache=cache)
+        second = execute(compiled, cal, trials=TRIALS, seed=3,
+                         expected=expected, trace_cache=cache)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        # The cached trace changes nothing about the sampled law.
+        assert first.counts == plain.counts == second.counts
+
+    def test_exotic_noise_model_bypasses_cache(self, cal):
+        class Tweaked(NoiseModel):
+            def gate_error_probability(self, gate, concurrent_neighbors=0):
+                return 0.0
+
+        compiled = compile_circuit(get_benchmark("BV4").build(), cal,
+                                   CompilerOptions.qiskit())
+        cache = TraceCache()
+        noise = Tweaked(cal)
+        execute(compiled, cal, trials=8, seed=0, noise_model=noise,
+                trace_cache=cache)
+        execute(compiled, cal, trials=8, seed=0, noise_model=noise,
+                trace_cache=cache)
+        assert len(cache) == 0 and cache.stats.lookups == 0
+
+
+class TestRunSweep:
+    def test_serial_order_and_keys(self, cal):
+        cells = make_cells(cal)
+        sweep = run_sweep(cells)
+        assert [r.key for r in sweep] == [c.key for c in cells]
+        assert len(sweep.by_key()) == len(cells)
+
+    def test_cache_hits_are_grid_determined(self, cal):
+        cells = make_cells(cal, seeds=(0, 1, 2))
+        sweep = run_sweep(cells)
+        distinct = len({c.compile_key() for c in cells})
+        assert sweep.compile_stats.misses == distinct
+        assert sweep.compile_stats.hits == len(cells) - distinct
+        assert sweep.trace_stats.hits == len(cells) - distinct
+
+    def test_parallel_matches_serial_bit_for_bit(self, cal):
+        cells = make_cells(cal)
+        serial = run_sweep(cells, workers=0)
+        parallel = run_sweep(cells, workers=2)
+        for a, b in zip(serial, parallel):
+            assert a.key == b.key
+            assert a.execution.counts == b.execution.counts
+        assert parallel.compile_stats.hits == serial.compile_stats.hits
+        assert parallel.trace_stats.hits == serial.trace_stats.hits
+
+    def test_worker_count_independence(self, cal):
+        cells = make_cells(cal, benchmarks=("BV4",), seeds=(0, 1, 2))
+        reference = run_sweep(cells, workers=2)
+        for workers in (3, 5):
+            other = run_sweep(cells, workers=workers)
+            for a, b in zip(reference, other):
+                assert a.execution.counts == b.execution.counts
+            assert other.compile_stats.hits == \
+                reference.compile_stats.hits
+
+    def test_compile_only_cells(self, cal):
+        cells = make_cells(cal, seeds=(0,), simulate=False)
+        sweep = run_sweep(cells)
+        for result in sweep:
+            assert result.execution is None
+            with pytest.raises(ReproError):
+                result.success_rate
+        assert sweep.trace_stats.lookups == 0
+
+    def test_duplicate_keys_rejected(self, cal):
+        cells = make_cells(cal, seeds=(0,)) * 2
+        with pytest.raises(ReproError):
+            run_sweep(cells).by_key()
+
+    def test_summary_renders(self, cal):
+        sweep = run_sweep(make_cells(cal, benchmarks=("BV4",), seeds=(0,)))
+        assert "compile cache" in sweep.summary()
+
+
+class TestCompileAndRunWrapper:
+    def test_matches_direct_pipeline(self, cal):
+        spec = get_benchmark("BV4")
+        options = CompilerOptions.r_smt_star()
+        run = compile_and_run(spec.build(), spec.expected_output, cal,
+                              options, trials=TRIALS, seed=5)
+        compiled = compile_circuit(spec.build(), cal, options)
+        direct = execute(compiled, cal, trials=TRIALS, seed=5,
+                         expected=spec.expected_output)
+        assert run.execution.counts == direct.counts
+        assert run.benchmark == "BV4" and run.variant == "r-smt*"
+
+    def test_shared_caches_across_calls(self, cal):
+        spec = get_benchmark("BV4")
+        compile_cache, trace_cache = CompileCache(), TraceCache()
+        for seed in (0, 1):
+            compile_and_run(spec.build(), spec.expected_output, cal,
+                            CompilerOptions.qiskit(), trials=TRIALS,
+                            seed=seed, compile_cache=compile_cache,
+                            trace_cache=trace_cache)
+        assert compile_cache.stats.hits == 1
+        assert trace_cache.stats.hits == 1
+
+
+class TestHarnessParallelism:
+    def test_fig6_workers_equivalent(self):
+        kwargs = dict(days=2, trials=64, benchmarks=("BV4",))
+        assert run_fig6(**kwargs).success == \
+            run_fig6(workers=2, **kwargs).success
