@@ -14,7 +14,7 @@ from repro.compiler import CompilerOptions, compile_circuit
 from repro.programs import build_benchmark, expected_output
 from repro.simulator import execute
 
-from conftest import record
+from conftest import SMOKE, record
 
 
 @pytest.fixture(scope="module")
@@ -61,4 +61,5 @@ def test_batched_speedup_bv4_4096(benchmark, bv4_program, calibration):
            f"batched={batched_median * 1e3:.1f} ms  "
            f"speedup={speedup:.1f}x")
     assert sum(batched.counts.values()) == 4096
-    assert speedup >= 10.0
+    if not SMOKE:
+        assert speedup >= 10.0

@@ -5,13 +5,20 @@ asserts its qualitative shape, and records the rendered rows/series in
 ``benchmark.extra_info["result"]`` (also echoed to stdout with ``-s``).
 """
 
+import os
+
 import pytest
 
 from repro.hardware import ReliabilityTables, default_ibmq16_calibration
 
+#: CI smoke mode (REPRO_BENCH_SMOKE=1): benches shrink their grids and
+#: skip the perf-bar assertions, keeping only shape/identity checks —
+#: enough to catch import rot and contract drift without perf variance.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
 #: Trials per execution in the bench suite. Smaller than the paper's
 #: 8192 hardware shots but enough to resolve the multi-x effects.
-BENCH_TRIALS = 512
+BENCH_TRIALS = 128 if SMOKE else 512
 
 
 @pytest.fixture(scope="session")

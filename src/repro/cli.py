@@ -12,6 +12,8 @@ Entry points (also available as ``python -m repro``):
 * ``repro sweep``       — run a declarative (benchmark x variant x
   calibration-day x seed) scenario grid on the sweep runtime, with
   ``--workers`` parallelism and cross-cell compile/trace caching;
+* ``repro passes``      — list the registered compiler passes and
+  mapper variants behind the pass-manager pipeline;
 * ``repro benchmarks``  — list the registered Table-2 benchmarks.
 """
 
@@ -22,7 +24,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.compiler import CompilerOptions, compile_circuit, verify_compiled
+from repro.compiler import CompilerOptions, build_pipeline, compile_circuit
 from repro.exceptions import ReproError
 from repro.hardware import device_calibration
 from repro.ir import parse_scaffir, qasm_to_circuit
@@ -77,7 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("--output", type=Path, default=None,
                            help="write QASM here instead of stdout")
     compile_p.add_argument("--verify", action="store_true",
-                           help="verify the compiled program")
+                           help="append the verify pass to the pipeline")
+    compile_p.add_argument("--timing", action="store_true",
+                           help="print a per-pass timing breakdown")
 
     run_p = sub.add_parser("run", help="compile and simulate")
     add_machine_args(run_p)
@@ -142,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--workers", type=int, default=0,
                          help="worker processes (0 = in-process serial)")
 
+    sub.add_parser("passes",
+                   help="list registered compiler passes and variants")
+
     sub.add_parser("benchmarks", help="list registered benchmarks")
     return parser
 
@@ -183,13 +190,16 @@ def _cmd_compile(args: argparse.Namespace, out) -> int:
     circuit, _ = _load_circuit(args)
     calibration = device_calibration(args.device, day=args.day,
                                      seed=args.calibration_seed)
-    program = compile_circuit(circuit, calibration, _options(args))
+    options = _options(args)
+    pipeline = build_pipeline(options, verify=args.verify)
+    program = pipeline.run(circuit, calibration, options)
     print(program.summary(), file=sys.stderr)
     if args.verify:
-        report = verify_compiled(program, calibration)
-        report.raise_if_failed()
-        print(f"verification OK ({len(report.checks_run)} checks)",
+        print(f"verification OK "
+              f"({len(program.verification.checks_run)} checks)",
               file=sys.stderr)
+    if args.timing:
+        print(program.timing_report(), file=sys.stderr)
     text = program.qasm()
     if args.output:
         args.output.write_text(text)
@@ -300,6 +310,27 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_passes(out) -> int:
+    from repro.compiler import (
+        make_pass,
+        mapper_for,
+        registered_passes,
+        registered_variants,
+    )
+
+    probe = CompilerOptions.r_smt_star()
+    out.write("registered passes (canonical pipeline order):\n")
+    for name in registered_passes():
+        doc = (type(make_pass(name, probe)).__doc__ or "").strip()
+        first_line = doc.splitlines()[0] if doc else ""
+        out.write(f"  {name:12s} {first_line}\n")
+    out.write("\nregistered mapping variants:\n")
+    for variant in registered_variants():
+        mapper = mapper_for(probe.with_(variant=variant))
+        out.write(f"  {variant:10s} -> {type(mapper).__name__}\n")
+    return 0
+
+
 def _cmd_benchmarks(out) -> int:
     out.write(f"{'name':10s} {'qubits':>6} {'gates':>6} {'CNOTs':>6} "
               f"{'answer':>10}\n")
@@ -327,6 +358,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_experiment(args, out)
         if args.command == "sweep":
             return _cmd_sweep(args, out)
+        if args.command == "passes":
+            return _cmd_passes(out)
         return _cmd_benchmarks(out)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

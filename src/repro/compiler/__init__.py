@@ -1,6 +1,11 @@
 """Noise-adaptive backend compiler: mapping, scheduling, routing, codegen."""
 
-from repro.compiler.compile import CompiledProgram, compile_circuit, make_mapper
+from repro.compiler.compile import (
+    CompiledProgram,
+    PassTiming,
+    compile_circuit,
+    make_mapper,
+)
 from repro.compiler.mapping.base import Mapper, MappingResult
 from repro.compiler.mapping.greedy import GreedyEdgeMapper, GreedyVertexMapper
 from repro.compiler.mapping.smt import ReliabilitySmtMapper, TimeSmtMapper
@@ -26,6 +31,25 @@ from repro.compiler.options import (
     CompilerOptions,
 )
 from repro.compiler.peephole import cancel_adjacent_inverses, count_cancellations
+from repro.compiler.pipeline import (
+    MappingPass,
+    Pass,
+    PassManager,
+    PeepholePass,
+    PipelineContext,
+    ReliabilityPass,
+    SchedulingPass,
+    SwapInsertPass,
+    VerifyPass,
+    build_pipeline,
+    make_pass,
+    mapper_for,
+    mapping_stage_fingerprint,
+    register_mapper,
+    register_pass,
+    registered_passes,
+    registered_variants,
+)
 from repro.compiler.routing.policies import Route, Router
 from repro.compiler.verify import VerificationReport, verify_compiled
 from repro.compiler.scheduling.list_scheduler import (
@@ -47,18 +71,27 @@ __all__ = [
     "GreedyEdgeMapper",
     "GreedyVertexMapper",
     "Mapper",
+    "MappingPass",
     "MappingResult",
+    "Pass",
+    "PassManager",
+    "PassTiming",
+    "PeepholePass",
     "PhysicalProgram",
+    "PipelineContext",
     "ROUTE_BEST_PATH",
     "ROUTE_ONE_BEND",
     "ROUTE_RECTANGLE",
     "ROUTE_SHORTEST",
     "ReliabilityEstimate",
+    "ReliabilityPass",
     "ReliabilitySmtMapper",
     "Route",
     "Router",
     "Schedule",
     "ScheduledGate",
+    "SchedulingPass",
+    "SwapInsertPass",
     "TimeSmtMapper",
     "TrivialMapper",
     "VARIANT_GREEDY_E",
@@ -68,13 +101,22 @@ __all__ = [
     "VARIANT_T_SMT",
     "VARIANT_T_SMT_STAR",
     "VerificationReport",
+    "VerifyPass",
     "apply_peephole",
+    "build_pipeline",
     "cancel_adjacent_inverses",
     "compile_circuit",
     "count_cancellations",
     "estimate_reliability",
     "insert_swaps",
     "make_mapper",
+    "make_pass",
+    "mapper_for",
+    "mapping_stage_fingerprint",
+    "register_mapper",
+    "register_pass",
+    "registered_passes",
+    "registered_variants",
     "schedule_circuit",
     "verify_compiled",
     "weighted_log_reliability",

@@ -1,44 +1,44 @@
-"""Top-level compilation pipeline (Fig. 3 of the paper).
+"""Top-level compilation entry point (Fig. 3 of the paper).
 
-``compile_circuit`` runs: mapping (per the selected variant) →
-scheduling and routing (list scheduler + routing policy) → SWAP
-insertion → OpenQASM code generation, returning a
-:class:`CompiledProgram` carrying the executable and its predicted
-quality metrics.
+``compile_circuit`` is a thin wrapper over the pass-manager pipeline
+(:mod:`repro.compiler.pipeline`): it builds the canonical pass list for
+the options — mapping (per the selected variant) → scheduling and
+routing → SWAP insertion → optional peephole → reliability estimation —
+and returns a :class:`CompiledProgram` carrying the executable and its
+predicted quality metrics.
 """
 
 from __future__ import annotations
 
 import hashlib
-import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from functools import cached_property
+from typing import Dict, Optional, Tuple
 
 from repro.compiler.mapping.base import Mapper, MappingResult
-from repro.compiler.mapping.greedy import GreedyEdgeMapper, GreedyVertexMapper
-from repro.compiler.mapping.smt import ReliabilitySmtMapper, TimeSmtMapper
-from repro.compiler.mapping.trivial import TrivialMapper
-from repro.compiler.metrics import ReliabilityEstimate, estimate_reliability
-from repro.compiler.options import (
-    VARIANT_GREEDY_E,
-    VARIANT_GREEDY_V,
-    VARIANT_QISKIT,
-    VARIANT_R_SMT_STAR,
-    VARIANT_T_SMT,
-    VARIANT_T_SMT_STAR,
-    CompilerOptions,
-)
-from repro.compiler.scheduling.list_scheduler import Schedule, schedule_circuit
-from repro.compiler.swap_insert import (
-    PhysicalProgram,
-    apply_peephole,
-    insert_swaps,
-)
-from repro.exceptions import CompilationError
+from repro.compiler.metrics import ReliabilityEstimate
+from repro.compiler.options import CompilerOptions
+from repro.compiler.scheduling.list_scheduler import Schedule
+from repro.compiler.swap_insert import PhysicalProgram
 from repro.hardware.calibration import Calibration
 from repro.hardware.reliability import ReliabilityTables
 from repro.ir.circuit import Circuit
 from repro.ir.qasm import circuit_to_qasm
+
+
+@dataclass(frozen=True)
+class PassTiming:
+    """Wall-clock record of one pipeline stage.
+
+    Attributes:
+        name: The pass's registered name (e.g. ``mapping[r-smt*]``).
+        seconds: Time spent inside the pass (0 when served from cache).
+        cached: Whether the stage-prefix cache supplied the artifact.
+    """
+
+    name: str
+    seconds: float
+    cached: bool = False
 
 
 @dataclass
@@ -53,8 +53,14 @@ class CompiledProgram:
         reliability: Compile-time reliability estimate.
         options: The configuration used.
         mapping: Mapper diagnostics (objective, optimality, nodes).
-        compile_time: End-to-end compilation seconds.
+        compile_time: End-to-end compilation seconds (near zero when
+            the program was served from a compile cache).
         calibration_label: Which calibration snapshot was used.
+        pass_timings: Per-pass wall-clock breakdown, pipeline order.
+        cache_hit: Whether this value came from a compile cache rather
+            than a fresh pipeline run.
+        verification: Report of the verify pass, when it was in the
+            pipeline.
     """
 
     logical: Circuit
@@ -66,6 +72,9 @@ class CompiledProgram:
     mapping: MappingResult
     compile_time: float
     calibration_label: str = ""
+    pass_timings: Tuple[PassTiming, ...] = ()
+    cache_hit: bool = False
+    verification: Optional["VerificationReport"] = None  # noqa: F821
 
     @property
     def duration(self) -> float:
@@ -86,28 +95,46 @@ class CompiledProgram:
         """OpenQASM 2.0 text of the physical program."""
         return circuit_to_qasm(self.physical.circuit)
 
+    @cached_property
+    def _fingerprint(self) -> str:
+        hasher = hashlib.sha256()
+        hasher.update(self.physical.circuit.fingerprint().encode())
+        for start, duration in self.physical.times:
+            hasher.update(f"{start!r},{duration!r};".encode())
+        for q, h in sorted(self.placement.items()):
+            hasher.update(f"{q}->{h};".encode())
+        hasher.update(self.calibration_label.encode())
+        hasher.update(self.options.fingerprint().encode())
+        return hasher.hexdigest()
+
     def fingerprint(self) -> str:
         """Stable content hash of the compiled artifact.
 
         Covers everything that determines noisy-execution behavior —
         the physical gate sequence, its timing, the placement, the
         calibration snapshot label and the options — but not wall-clock
-        measurements like ``compile_time``. The trace cache keys on
-        this, so two identical compilations (e.g. a compile-cache hit
-        replayed in another process) share one lowered trace.
+        measurements like ``compile_time`` or provenance like
+        ``cache_hit``. The trace cache keys on this, so two identical
+        compilations (e.g. a compile-cache hit replayed in another
+        process) share one lowered trace.
         """
-        cached = getattr(self, "_fingerprint", None)
-        if cached is None:
-            hasher = hashlib.sha256()
-            hasher.update(self.physical.circuit.fingerprint().encode())
-            for start, duration in self.physical.times:
-                hasher.update(f"{start!r},{duration!r};".encode())
-            for q, h in sorted(self.placement.items()):
-                hasher.update(f"{q}->{h};".encode())
-            hasher.update(self.calibration_label.encode())
-            hasher.update(self.options.fingerprint().encode())
-            cached = self._fingerprint = hasher.hexdigest()
-        return cached
+        return self._fingerprint
+
+    def timing_report(self) -> str:
+        """Multi-line per-pass timing breakdown (``repro compile
+        --timing``)."""
+        if not self.pass_timings:
+            return "no per-pass timings recorded"
+        total = sum(t.seconds for t in self.pass_timings)
+        width = max(len(t.name) for t in self.pass_timings)
+        lines = []
+        for t in self.pass_timings:
+            share = t.seconds / total if total > 0 else 0.0
+            note = "  (cached)" if t.cached else ""
+            lines.append(f"{t.name:<{width}}  {t.seconds * 1000:8.2f} ms"
+                         f"  {share:5.1%}{note}")
+        lines.append(f"{'total':<{width}}  {total * 1000:8.2f} ms")
+        return "\n".join(lines)
 
     def summary(self) -> str:
         """One-line human-readable description."""
@@ -119,25 +146,21 @@ class CompiledProgram:
 
 
 def make_mapper(options: CompilerOptions) -> Mapper:
-    """Instantiate the mapping pass for a variant."""
-    if options.variant == VARIANT_QISKIT:
-        return TrivialMapper()
-    if options.variant in (VARIANT_T_SMT, VARIANT_T_SMT_STAR):
-        return TimeSmtMapper(options)
-    if options.variant == VARIANT_R_SMT_STAR:
-        return ReliabilitySmtMapper(options)
-    if options.variant == VARIANT_GREEDY_V:
-        return GreedyVertexMapper(options)
-    if options.variant == VARIANT_GREEDY_E:
-        return GreedyEdgeMapper(options)
-    raise CompilationError(f"unknown variant {options.variant!r}")
+    """Instantiate the mapping pass for a variant (registry lookup)."""
+    from repro.compiler.pipeline import mapper_for
+
+    return mapper_for(options)
 
 
 def compile_circuit(circuit: Circuit, calibration: Calibration,
                     options: Optional[CompilerOptions] = None,
-                    tables: Optional[ReliabilityTables] = None
-                    ) -> CompiledProgram:
+                    tables: Optional[ReliabilityTables] = None,
+                    stage_cache=None) -> CompiledProgram:
     """Compile *circuit* for the machine described by *calibration*.
+
+    Thin wrapper building the canonical pipeline
+    (:func:`repro.compiler.pipeline.build_pipeline`) from the options
+    and running it once.
 
     Args:
         circuit: Logical program (any qubit connectivity).
@@ -145,33 +168,16 @@ def compile_circuit(circuit: Circuit, calibration: Calibration,
         options: Variant selection; defaults to R-SMT* with omega 0.5.
         tables: Precomputed routing tables (reuse across compilations of
             the same snapshot to save time).
+        stage_cache: Optional :class:`~repro.runtime.cache.StageCache`
+            sharing per-pass artifacts (e.g. the SMT mapping) across
+            compilations that agree on a pipeline prefix.
 
     Returns:
         The compiled artifact, ready for the noisy executor or QASM dump.
     """
+    from repro.compiler.pipeline import build_pipeline
+
     options = options or CompilerOptions.r_smt_star()
-    start = time.perf_counter()
-    if tables is None:
-        tables = ReliabilityTables(calibration)
-    mapper = make_mapper(options)
-    mapping = mapper.run(circuit, calibration, tables)
-    schedule = schedule_circuit(circuit, mapping.placement, calibration,
-                                tables, options)
-    physical = insert_swaps(circuit, schedule, mapping.placement,
-                            calibration)
-    if options.peephole:
-        physical = apply_peephole(physical, calibration)
-    reliability = estimate_reliability(circuit, schedule, mapping.placement,
-                                       calibration)
-    elapsed = time.perf_counter() - start
-    return CompiledProgram(
-        logical=circuit,
-        physical=physical,
-        placement=dict(mapping.placement),
-        schedule=schedule,
-        reliability=reliability,
-        options=options,
-        mapping=mapping,
-        compile_time=elapsed,
-        calibration_label=calibration.label,
-    )
+    return build_pipeline(options).run(circuit, calibration, options,
+                                       tables=tables,
+                                       stage_cache=stage_cache)

@@ -12,8 +12,11 @@ from repro.runtime.cache import (
     CacheStats,
     CompileCache,
     CompileKey,
+    PrefixKey,
+    StageCache,
     TraceCache,
     compile_key,
+    mapping_prefix_key,
 )
 from repro.runtime.sweep import (
     DEFAULT_TRIALS,
@@ -30,10 +33,13 @@ __all__ = [
     "CompileCache",
     "CompileKey",
     "DEFAULT_TRIALS",
+    "PrefixKey",
+    "StageCache",
     "SweepCell",
     "SweepResult",
     "TraceCache",
     "compile_key",
+    "mapping_prefix_key",
     "run_cell",
     "run_sweep",
 ]

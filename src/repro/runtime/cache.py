@@ -1,7 +1,6 @@
 """Content-addressed caches underlying the sweep runtime.
 
-Two cache layers, mirroring the two expensive stages of a scenario
-cell:
+Three cache layers, mirroring the expensive stages of a scenario cell:
 
 * :class:`CompileCache` — compiled programs keyed by (circuit
   fingerprint, calibration content id, options fingerprint). A sweep
@@ -10,6 +9,12 @@ cell:
   memoizes the :class:`~repro.hardware.ReliabilityTables` built for
   each calibration snapshot, which every compilation of that snapshot
   shares.
+* :class:`StageCache` — individual pipeline-pass artifacts keyed by
+  stage-prefix key (see :mod:`repro.compiler.pipeline`). Nested inside
+  every :class:`CompileCache`: when a whole-program lookup misses, the
+  pipeline still reuses any shared prefix — most importantly, cells
+  that differ only in post-mapping knobs (routing policy, peephole,
+  coherence handling) share one expensive SMT/greedy mapping artifact.
 * :class:`TraceCache` — lowered
   :class:`~repro.simulator.trace.ProgramTrace` objects keyed by
   (compiled-program fingerprint, noise-model key). The batched executor
@@ -17,9 +22,9 @@ cell:
   :func:`repro.simulator.execute`, so re-executing the same compiled
   program (new seed, new shot count) skips the flat-array lowering.
 
-Both caches are in-process dictionaries. The parallel sweep path gets
+All caches are in-process dictionaries. The parallel sweep path gets
 cross-worker sharing not by a shared store but by scheduling: cells
-with the same compile key are routed to the same worker (see
+with the same mapping-prefix key are routed to the same worker (see
 :mod:`repro.runtime.sweep`), which makes hit counts deterministic and
 independent of the worker count.
 
@@ -30,10 +35,15 @@ baseline for BV4 on day 0 share one compilation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
-from repro.compiler import CompiledProgram, CompilerOptions, compile_circuit
+from repro.compiler import (
+    CompiledProgram,
+    CompilerOptions,
+    compile_circuit,
+    mapping_stage_fingerprint,
+)
 from repro.hardware import Calibration, ReliabilityTables
 from repro.ir.circuit import Circuit
 from repro.simulator import NoiseModel
@@ -41,12 +51,29 @@ from repro.simulator import NoiseModel
 #: (circuit fingerprint, calibration content id, options fingerprint).
 CompileKey = Tuple[str, str, str]
 
+#: (circuit fingerprint, calibration content id, mapping fingerprint).
+PrefixKey = Tuple[str, str, str]
+
 
 def compile_key(circuit: Circuit, calibration: Calibration,
                 options: CompilerOptions) -> CompileKey:
     """The content-addressed identity of one compilation."""
     return (circuit.fingerprint(), calibration.content_id(),
             options.fingerprint())
+
+
+def mapping_prefix_key(circuit: Circuit, calibration: Calibration,
+                       options: CompilerOptions) -> PrefixKey:
+    """The content-addressed identity of one *mapping* computation.
+
+    Strictly coarser than :func:`compile_key`: cells sharing a compile
+    key always share a prefix key, and cells that differ only in
+    post-mapping options share a prefix key without sharing a compile
+    key — exactly the set that can reuse a mapping artifact through the
+    stage cache.
+    """
+    return (circuit.fingerprint(), calibration.content_id(),
+            mapping_stage_fingerprint(options))
 
 
 @dataclass
@@ -70,13 +97,50 @@ class CacheStats:
         self.misses += other.misses
 
 
+class StageCache:
+    """Memoizes individual pipeline-pass artifacts by prefix key.
+
+    The key space is the stage-prefix chain of
+    :meth:`repro.compiler.PassManager.run`: an artifact is addressed by
+    everything that determined it (circuit, calibration, and the
+    fingerprints of every pass up to and including its own), so lookups
+    can never alias across option values that drive a pass differently.
+    Artifacts are shared objects; treat them as immutable.
+    """
+
+    def __init__(self) -> None:
+        self._artifacts: Dict[str, object] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    def get(self, key: str):
+        """The cached artifact, or ``None`` (counted as a miss)."""
+        artifact = self._artifacts.get(key)
+        if artifact is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return artifact
+
+    def put(self, key: str, artifact: object) -> None:
+        self._artifacts[key] = artifact
+
+
 class CompileCache:
-    """Memoizes ``compile_circuit`` results by content key."""
+    """Memoizes ``compile_circuit`` results by content key.
+
+    Misses compile through the nested :class:`StageCache`, so even the
+    first compilation of a new option value reuses any pipeline prefix
+    (typically the mapping stage) computed for a sibling configuration.
+    """
 
     def __init__(self) -> None:
         self._programs: Dict[CompileKey, CompiledProgram] = {}
         self._tables: Dict[str, ReliabilityTables] = {}
         self.stats = CacheStats()
+        self.stages = StageCache()
 
     def __len__(self) -> int:
         return len(self._programs)
@@ -97,15 +161,26 @@ class CompileCache:
     def get_or_compile(self, circuit: Circuit, calibration: Calibration,
                        options: CompilerOptions
                        ) -> Tuple[CompiledProgram, bool]:
-        """Return the compiled program and whether it was a cache hit."""
+        """Return the compiled program and whether it was a cache hit.
+
+        Hits return a copy flagged ``cache_hit=True`` whose
+        ``compile_time`` is zero — the stored program's wall clock
+        describes the original compilation, and replaying it would make
+        sweep timing reports count the same work once per cell.
+        """
         key = compile_key(circuit, calibration, options)
         program = self._programs.get(key)
         if program is not None:
             self.stats.hits += 1
-            return program, True
+            served = replace(program, compile_time=0.0, cache_hit=True)
+            if "_fingerprint" in program.__dict__:  # carry the memo over
+                served.__dict__["_fingerprint"] = \
+                    program.__dict__["_fingerprint"]
+            return served, True
         self.stats.misses += 1
         program = compile_circuit(circuit, calibration, options,
-                                  tables=self.tables_for(calibration))
+                                  tables=self.tables_for(calibration),
+                                  stage_cache=self.stages)
         self._programs[key] = program
         return program, False
 

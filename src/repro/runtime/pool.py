@@ -1,8 +1,8 @@
 """Process-pool execution of sweep-cell batches.
 
 The sweep runtime partitions a grid into batches of (index, cell)
-pairs — one batch per worker, with all cells sharing a compile key
-placed in the same batch — and this module fans the batches out over a
+pairs — one batch per worker, with all cells sharing a mapping-prefix
+key placed in the same batch — and this module fans the batches out over a
 ``multiprocessing`` pool. Each worker builds its own
 :class:`~repro.runtime.cache.CompileCache`/:class:`~repro.runtime.cache.TraceCache`
 pair, runs its batch, and ships back the per-cell results plus its
@@ -34,7 +34,8 @@ def _run_batch(batch: Sequence[IndexedCell]):
     trace_cache = TraceCache()
     results = [(index, run_cell(cell, compile_cache, trace_cache))
                for index, cell in batch]
-    return results, compile_cache.stats, trace_cache.stats
+    return (results, compile_cache.stats, trace_cache.stats,
+            compile_cache.stages.stats)
 
 
 def pool_context() -> multiprocessing.context.BaseContext:
@@ -46,26 +47,29 @@ def pool_context() -> multiprocessing.context.BaseContext:
 
 
 def run_batches(batches: Sequence[Sequence[IndexedCell]], workers: int
-                ) -> Tuple[list, CacheStats, CacheStats]:
+                ) -> Tuple[list, CacheStats, CacheStats, CacheStats]:
     """Run cell batches across *workers* processes.
 
     Args:
         batches: Pre-partitioned (index, cell) groups; cells sharing a
-            compile key must sit in the same batch for the caches to
-            behave deterministically.
+            mapping-prefix key (hence also cells sharing a compile key)
+            must sit in the same batch for the caches to behave
+            deterministically.
         workers: Pool size; capped at the number of batches.
 
     Returns:
         (flat list of (index, result) pairs, merged compile-cache
-        stats, merged trace-cache stats).
+        stats, merged trace-cache stats, merged stage-cache stats).
     """
     workers = min(workers, len(batches))
     compile_stats = CacheStats()
     trace_stats = CacheStats()
+    stage_stats = CacheStats()
     indexed: List[tuple] = []
     with pool_context().Pool(processes=workers) as pool:
-        for results, cstats, tstats in pool.map(_run_batch, batches):
+        for results, cstats, tstats, sstats in pool.map(_run_batch, batches):
             indexed.extend(results)
             compile_stats.merge(cstats)
             trace_stats.merge(tstats)
-    return indexed, compile_stats, trace_stats
+            stage_stats.merge(sstats)
+    return indexed, compile_stats, trace_stats, stage_stats

@@ -18,24 +18,29 @@ Three properties the figure harnesses rely on:
   magnitude under the default limit and are unaffected.
 * **Cross-cell caching** — cells sharing a compile key (circuit
   fingerprint, calibration id, options fingerprint) share one
-  compilation, and cells additionally sharing a noise model share one
-  lowered :class:`~repro.simulator.trace.ProgramTrace`; only the
-  sampling stage is paid per cell. See :mod:`repro.runtime.cache`.
+  compilation; cells sharing only a *mapping-prefix* key (circuit,
+  calibration, mapping-stage fingerprint) still share the expensive
+  mapping artifact through the pipeline stage cache; and cells
+  additionally sharing a noise model share one lowered
+  :class:`~repro.simulator.trace.ProgramTrace`. Only the sampling
+  stage is paid per cell. See :mod:`repro.runtime.cache`.
 * **Placement-aware scheduling** — the parallel path groups cells by
-  compile key and assigns whole groups to workers, so every duplicate
-  configuration lands where its compilation is cached. Cache hit
-  counts are thus the same at every worker count (and equal to the
-  serial path's), not an accident of scheduling. The deliberate
-  tradeoff: a grid dominated by one giant group parallelizes poorly
-  (a single-group grid runs serially) — splitting groups would buy
-  pool width at the cost of duplicate compiles and scheduling-
-  dependent hit counts.
+  mapping-prefix key (which subsumes grouping by compile key: equal
+  compile keys imply equal prefix keys) and assigns whole groups to
+  workers, so every duplicate configuration lands where its
+  compilation is cached and every post-mapping variation lands where
+  its mapping is cached. Cache hit counts are thus the same at every
+  worker count (and equal to the serial path's), not an accident of
+  scheduling. The deliberate tradeoff: a grid dominated by one giant
+  group parallelizes poorly (a single-group grid runs serially) —
+  splitting groups would buy pool width at the cost of duplicate
+  compiles and scheduling-dependent hit counts.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.compiler import CompiledProgram, CompilerOptions
@@ -46,8 +51,10 @@ from repro.runtime.cache import (
     CacheStats,
     CompileCache,
     CompileKey,
+    PrefixKey,
     TraceCache,
     compile_key,
+    mapping_prefix_key,
 )
 from repro.simulator import ExecutionResult, execute
 
@@ -90,6 +97,13 @@ class SweepCell:
         """Content key of this cell's compilation stage."""
         return compile_key(self.circuit, self.calibration, self.options)
 
+    def prefix_key(self) -> PrefixKey:
+        """Content key of this cell's mapping stage (coarser than
+        :meth:`compile_key`): cells sharing it reuse one mapping
+        artifact even when their post-mapping options differ."""
+        return mapping_prefix_key(self.circuit, self.calibration,
+                                  self.options)
+
 
 @dataclass
 class CellResult:
@@ -125,6 +139,8 @@ class SweepResult:
         results: One :class:`CellResult` per input cell, same order.
         compile_stats: Aggregated compile-cache counters.
         trace_stats: Aggregated trace-cache counters.
+        stage_stats: Aggregated stage-cache counters (per-pass artifact
+            reuse inside whole-program compile misses).
         wall_time: End-to-end sweep seconds.
         workers: Pool size used (0 = in-process serial).
     """
@@ -132,6 +148,7 @@ class SweepResult:
     results: List[CellResult]
     compile_stats: CacheStats
     trace_stats: CacheStats
+    stage_stats: CacheStats = field(default_factory=CacheStats)
     wall_time: float = 0.0
     workers: int = 0
 
@@ -155,6 +172,8 @@ class SweepResult:
         return (f"{len(self.results)} cells in {self.wall_time:.2f}s "
                 f"(workers={self.workers}): compile cache "
                 f"{self.compile_stats.hits}/{self.compile_stats.lookups} hit, "
+                f"stage cache "
+                f"{self.stage_stats.hits}/{self.stage_stats.lookups} hit, "
                 f"trace cache "
                 f"{self.trace_stats.hits}/{self.trace_stats.lookups} hit")
 
@@ -179,17 +198,19 @@ def run_cell(cell: SweepCell, compile_cache: CompileCache,
 
 def _partition(cells: Sequence[SweepCell], workers: int
                ) -> List[List[Tuple[int, SweepCell]]]:
-    """Split cells into per-worker batches along compile-key groups.
+    """Split cells into per-worker batches along mapping-prefix groups.
 
-    Whole groups (cells sharing a compile key) go to one worker, so
-    each distinct configuration compiles exactly once somewhere.
-    Groups are dealt largest-first onto the currently lightest batch
-    (ties broken by batch index), which is deterministic and keeps the
-    per-worker cell counts balanced.
+    Whole groups (cells sharing a mapping-prefix key — which includes
+    all cells sharing a full compile key) go to one worker, so each
+    distinct configuration compiles exactly once somewhere and each
+    distinct mapping is solved exactly once somewhere. Groups are dealt
+    largest-first onto the currently lightest batch (ties broken by
+    batch index), which is deterministic and keeps the per-worker cell
+    counts balanced.
     """
-    groups: Dict[CompileKey, List[Tuple[int, SweepCell]]] = {}
+    groups: Dict[PrefixKey, List[Tuple[int, SweepCell]]] = {}
     for index, cell in enumerate(cells):
-        groups.setdefault(cell.compile_key(), []).append((index, cell))
+        groups.setdefault(cell.prefix_key(), []).append((index, cell))
     ordered = sorted(groups.values(), key=lambda g: (-len(g), g[0][0]))
     batches: List[List[Tuple[int, SweepCell]]] = \
         [[] for _ in range(min(workers, len(ordered)))]
@@ -228,7 +249,7 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
             # point imports this module back (lazily) for run_cell.
             from repro.runtime.pool import run_batches
 
-            indexed, compile_stats, trace_stats = \
+            indexed, compile_stats, trace_stats, stage_stats = \
                 run_batches(batches, workers)
             results: List[Optional[CellResult]] = [None] * len(cells)
             for index, result in indexed:
@@ -236,6 +257,7 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
             return SweepResult(results=results,
                                compile_stats=compile_stats,
                                trace_stats=trace_stats,
+                               stage_stats=stage_stats,
                                wall_time=time.perf_counter() - start,
                                workers=len(batches))
         # A single compile-key group has no parallelism to exploit:
@@ -247,4 +269,5 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
     results = [run_cell(cell, compile_cache, trace_cache) for cell in cells]
     return SweepResult(results=results, compile_stats=compile_cache.stats,
                        trace_stats=trace_cache.stats,
+                       stage_stats=compile_cache.stages.stats,
                        wall_time=time.perf_counter() - start, workers=0)

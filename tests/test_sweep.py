@@ -103,7 +103,12 @@ class TestCompileCache:
         first, hit1 = cache.get_or_compile(circuit, cal, options)
         second, hit2 = cache.get_or_compile(circuit, cal, options)
         assert (hit1, hit2) == (False, True)
-        assert first is second
+        assert first.fingerprint() == second.fingerprint()
+        assert first.physical is second.physical
+        # Hits are flagged and report no wall clock of their own — the
+        # stored program's compile_time describes the original run.
+        assert not first.cache_hit and second.cache_hit
+        assert first.compile_time > 0.0 and second.compile_time == 0.0
         assert cache.stats.hits == 1 and cache.stats.misses == 1
 
     def test_rebuilt_circuit_still_hits(self, cal):
