@@ -1,14 +1,16 @@
 """Bench: regenerate Figure 10 (heuristics vs the optimal mapper)."""
 
-from conftest import BENCH_TRIALS, record
+from conftest import BENCH_TRIALS, SMOKE, record
 
 from repro.experiments import run_fig10
+
+SUBSET = ["BV4", "HS4", "Toffoli", "Peres"] if SMOKE else None
 
 
 def test_fig10_heuristic_success(benchmark, calibration):
     result = benchmark.pedantic(
         run_fig10, kwargs={"calibration": calibration,
-                           "trials": BENCH_TRIALS},
+                           "trials": BENCH_TRIALS, "subset": SUBSET},
         rounds=1, iterations=1)
     # Shape: GreedyE* comparable to R-SMT* (paper: "as successful in
     # all cases", occasionally better), and E* >= V* in aggregate.

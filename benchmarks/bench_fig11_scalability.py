@@ -5,19 +5,23 @@ here the optimal mapper is capped per compile, which preserves the
 trend (SMT exploding, greedy flat in the milliseconds).
 """
 
-from conftest import record
+from conftest import SMOKE, record
 
 from repro.experiments import run_fig11
 
+KWARGS = {"smt_qubits": (4, 8),
+          "greedy_qubits": (4, 8, 32),
+          "gate_counts": (128, 256),
+          "smt_time_cap": 2.0} if SMOKE else \
+         {"smt_qubits": (4, 8, 32),
+          "greedy_qubits": (4, 8, 32, 128),
+          "gate_counts": (128, 256, 512, 1024, 2048),
+          "smt_time_cap": 10.0}
+
 
 def test_fig11_compile_time_scaling(benchmark):
-    result = benchmark.pedantic(
-        run_fig11,
-        kwargs={"smt_qubits": (4, 8, 32),
-                "greedy_qubits": (4, 8, 32, 128),
-                "gate_counts": (128, 256, 512, 1024, 2048),
-                "smt_time_cap": 10.0},
-        rounds=1, iterations=1)
+    result = benchmark.pedantic(run_fig11, kwargs=KWARGS,
+                                rounds=1, iterations=1)
     greedy = [p for p in result.points if p.variant == "greedye*"]
     smt = [p for p in result.points if p.variant == "r-smt*"]
     # Greedy stays under a second everywhere, up to 128q / 2048 gates.
@@ -38,6 +42,8 @@ def test_fig11_compile_time_scaling(benchmark):
     if 4 in smt_by_qubits and 32 in smt_by_qubits:
         assert max(smt_by_qubits[32]) > 10 * max(smt_by_qubits[4])
     # At 32 qubits the optimal mapper hits its cap (the paper's 3-hour
-    # regime): at least one truncated sample.
-    assert any(p.truncated for p in smt if p.n_qubits == 32)
+    # regime): at least one truncated sample. (Smoke mode stops at 8
+    # qubits, where the search still finishes inside the cap.)
+    if not SMOKE:
+        assert any(p.truncated for p in smt if p.n_qubits == 32)
     record(benchmark, result.to_text())

@@ -1,12 +1,14 @@
 """Bench: regenerate Figure 1 (daily calibration variation series)."""
 
-from conftest import record
+from conftest import SMOKE, record
 
 from repro.experiments import run_fig1
 
+DAYS = 8 if SMOKE else 25
+
 
 def test_fig1_calibration_series(benchmark):
-    result = benchmark.pedantic(run_fig1, kwargs={"days": 25},
+    result = benchmark.pedantic(run_fig1, kwargs={"days": DAYS},
                                 rounds=1, iterations=1)
     # Shape: spatio-temporal spreads in the ballpark the paper reports
     # (9.2x T2, 9.0x CNOT, 5.9x readout).

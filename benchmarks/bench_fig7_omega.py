@@ -1,14 +1,17 @@
 """Bench: regenerate Figure 7 (objective choice: omega sweep)."""
 
-from conftest import BENCH_TRIALS, record
+from conftest import BENCH_TRIALS, SMOKE, record
 
 from repro.experiments import run_fig7
+
+KWARGS = {"trials": BENCH_TRIALS}
+if SMOKE:
+    KWARGS["benchmarks"] = ("BV4", "Toffoli")
 
 
 def test_fig7_objective_choice(benchmark, calibration):
     result = benchmark.pedantic(
-        run_fig7, kwargs={"calibration": calibration,
-                          "trials": BENCH_TRIALS},
+        run_fig7, kwargs={"calibration": calibration, **KWARGS},
         rounds=1, iterations=1)
     for bench in result.runs:
         balanced = result.success(bench, "r-smt*(w=0.5)")

@@ -1,13 +1,15 @@
 """Bench: regenerate Figure 9 (durations vs gate times, routing, objective)."""
 
-from conftest import record
+from conftest import SMOKE, record
 
 from repro.experiments import run_fig9
+
+SUBSET = ["BV4", "HS4", "Toffoli", "QFT"] if SMOKE else None
 
 
 def test_fig9_execution_durations(benchmark, calibration):
     result = benchmark.pedantic(
-        run_fig9, kwargs={"calibration": calibration},
+        run_fig9, kwargs={"calibration": calibration, "subset": SUBSET},
         rounds=1, iterations=1)
     for bench in result.runs:
         uniform = result.duration(bench, "t-smt(rr)")

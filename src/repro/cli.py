@@ -12,9 +12,16 @@ Entry points (also available as ``python -m repro``):
 * ``repro sweep``       — run a declarative (benchmark x variant x
   calibration-day x seed) scenario grid on the sweep runtime, with
   ``--workers`` parallelism and cross-cell compile/trace caching;
+* ``repro mitigate``    — compile, execute, and apply an
+  error-mitigation strategy (zero-noise extrapolation, readout
+  inversion, or a stack), reporting raw vs mitigated success;
 * ``repro passes``      — list the registered compiler passes and
   mapper variants behind the pass-manager pipeline;
 * ``repro benchmarks``  — list the registered Table-2 benchmarks.
+
+``repro run``, ``repro sweep`` and ``repro mitigate`` accept
+``--cache-dir DIR`` to persist the compile/stage cache on disk, so
+repeated invocations reuse compilations across processes.
 """
 
 from __future__ import annotations
@@ -24,10 +31,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.compiler import CompilerOptions, build_pipeline, compile_circuit
+from repro.compiler import CompilerOptions, build_pipeline
 from repro.exceptions import ReproError
 from repro.hardware import device_calibration
 from repro.ir import parse_scaffir, qasm_to_circuit
+# Importing the mitigation package also registers its "fold" pass with
+# the compiler pass registry (visible in `repro passes`).
+from repro.mitigation import strategy_from_spec
 from repro.programs import benchmark_names, expected_output, get_benchmark
 from repro.simulator import execute
 
@@ -35,7 +45,9 @@ _VARIANT_CHOICES = ("qiskit", "t-smt", "t-smt*", "r-smt*", "greedyv*",
                     "greedye*")
 
 _EXPERIMENTS = ("fig1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
-                "fig10", "fig11")
+                "fig10", "fig11", "mitigation")
+
+_STRATEGY_CHOICES = ("zne", "readout", "readout+zne")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("--timing", action="store_true",
                            help="print a per-pass timing breakdown")
 
+    def add_cache_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-dir", type=Path, default=None,
+                       help="persist the compile/stage cache in this "
+                            "directory (reused across invocations)")
+
     run_p = sub.add_parser("run", help="compile and simulate")
     add_machine_args(run_p)
     add_compile_args(run_p)
@@ -91,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--expected", default=None,
                        help="expected outcome string (default: the "
                             "benchmark's registered answer)")
+    add_cache_dir(run_p)
 
     cal_p = sub.add_parser("calibration", help="print calibration data")
     add_machine_args(cal_p)
@@ -145,6 +163,49 @@ def build_parser() -> argparse.ArgumentParser:
                          help="readout weight for r-smt* (default: 0.5)")
     sweep_p.add_argument("--workers", type=int, default=0,
                          help="worker processes (0 = in-process serial)")
+    add_cache_dir(sweep_p)
+
+    mit_p = sub.add_parser(
+        "mitigate",
+        help="execute with an error-mitigation strategy",
+        description="Compile the selected benchmarks, execute them on "
+                    "the noisy simulator, and apply an error-mitigation "
+                    "strategy — zero-noise extrapolation (zne), "
+                    "readout-confusion inversion (readout), or a '+' "
+                    "stack — reporting raw vs mitigated success "
+                    "probability per benchmark. Scaled-noise executions "
+                    "share the compiled program and its lowered trace; "
+                    "nothing is recompiled.")
+    add_machine_args(mit_p)
+    mit_p.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                       default=["BV4", "BV6", "HS2", "Toffoli"],
+                       choices=benchmark_names(),
+                       help="benchmarks to mitigate (default: BV4 BV6 "
+                            "HS2 Toffoli)")
+    mit_p.add_argument("--variant", default="r-smt*",
+                       choices=_VARIANT_CHOICES)
+    mit_p.add_argument("--omega", type=float, default=0.5,
+                       help="readout weight for r-smt* (default: 0.5)")
+    mit_p.add_argument("--strategy", default="zne",
+                       choices=_STRATEGY_CHOICES,
+                       help="mitigation strategy or '+' stack "
+                            "(default: zne)")
+    mit_p.add_argument("--scales", nargs="+", type=float, default=None,
+                       metavar="S",
+                       help="ZNE noise scales (default: 1 1.5 2)")
+    mit_p.add_argument("--fit", default="linear",
+                       choices=("linear", "richardson", "exp"),
+                       help="ZNE extrapolation fit (default: linear)")
+    mit_p.add_argument("--amplifier", default="trace",
+                       choices=("trace", "fold"),
+                       help="ZNE noise amplifier: scale the lowered "
+                            "trace (no recompilation) or fold gates "
+                            "through the pipeline (default: trace)")
+    mit_p.add_argument("--trials", type=int, default=1024)
+    mit_p.add_argument("--seed", type=int, default=7)
+    mit_p.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = in-process serial)")
+    add_cache_dir(mit_p)
 
     sub.add_parser("passes",
                    help="list registered compiler passes and variants")
@@ -209,11 +270,22 @@ def _cmd_compile(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _compile_cache(args: argparse.Namespace):
+    """The compile cache an invocation should use (disk-backed when
+    ``--cache-dir`` was given, fresh in-memory otherwise)."""
+    from repro.runtime import make_compile_cache
+
+    return make_compile_cache(getattr(args, "cache_dir", None))
+
+
 def _cmd_run(args: argparse.Namespace, out) -> int:
     circuit, registered_answer = _load_circuit(args)
     calibration = device_calibration(args.device, day=args.day,
                                      seed=args.calibration_seed)
-    program = compile_circuit(circuit, calibration, _options(args))
+    program, cache_hit = _compile_cache(args).get_or_compile(
+        circuit, calibration, _options(args))
+    if cache_hit:
+        print("compilation served from cache", file=sys.stderr)
     expected = args.expected or registered_answer
     result = execute(program, calibration, trials=args.trials,
                      seed=args.seed, expected=expected)
@@ -268,6 +340,9 @@ def _cmd_experiment(args: argparse.Namespace, out) -> int:
         result = experiments.run_fig9(workers=workers)
     elif name == "fig10":
         result = experiments.run_fig10(trials=args.trials, workers=workers)
+    elif name == "mitigation":
+        result = experiments.run_mitigation_study(trials=args.trials,
+                                                  workers=workers)
     else:
         result = experiments.run_fig11(workers=workers)
     out.write(result.to_text() + "\n")
@@ -294,7 +369,8 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
              for bench in args.benchmarks
              for variant in args.variants
              for s in range(args.seeds)]
-    sweep = run_sweep(cells, workers=args.workers)
+    sweep = run_sweep(cells, workers=args.workers,
+                      cache_dir=args.cache_dir)
 
     rows = []
     for result in sweep:
@@ -306,6 +382,47 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     out.write(format_table(
         ["benchmark", "variant", "day", "seed", "success", "swaps",
          "duration"], rows) + "\n")
+    out.write(sweep.summary() + "\n")
+    return 0
+
+
+def _cmd_mitigate(args: argparse.Namespace, out) -> int:
+    from repro.experiments.common import format_table
+    from repro.runtime import SweepCell, run_sweep
+
+    calibration = device_calibration(args.device, day=args.day,
+                                     seed=args.calibration_seed)
+    options = _variant_options(args.variant, args.omega)
+    strategy = strategy_from_spec(args.strategy,
+                                  scales=args.scales or (),
+                                  fit=args.fit, amplifier=args.amplifier)
+    specs = {name: get_benchmark(name) for name in args.benchmarks}
+    cells = [SweepCell(circuit=specs[name].build(), calibration=calibration,
+                       options=options, expected=specs[name].expected_output,
+                       trials=args.trials, seed=args.seed,
+                       mitigation=strategy, key=name)
+             for name in args.benchmarks]
+    sweep = run_sweep(cells, workers=args.workers,
+                      cache_dir=args.cache_dir)
+
+    rows = []
+    improved = 0
+    for result in sweep:
+        outcome = result.mitigation
+        rows.append([result.key, outcome.raw_success,
+                     outcome.mitigated_success, outcome.gain,
+                     outcome.executions])
+        if outcome.gain > 0.0:
+            improved += 1
+    out.write(format_table(
+        ["benchmark", "raw", "mitigated", "gain", "extra execs"],
+        rows) + "\n")
+    mean_raw = sum(r.mitigation.raw_success for r in sweep) / len(sweep)
+    mean_mit = sum(r.mitigation.mitigated_success
+                   for r in sweep) / len(sweep)
+    out.write(f"strategy {strategy.fingerprint()}: mean success "
+              f"{mean_raw:.4f} -> {mean_mit:.4f}, improved on "
+              f"{improved}/{len(sweep)} benchmarks\n")
     out.write(sweep.summary() + "\n")
     return 0
 
@@ -358,6 +475,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_experiment(args, out)
         if args.command == "sweep":
             return _cmd_sweep(args, out)
+        if args.command == "mitigate":
+            return _cmd_mitigate(args, out)
         if args.command == "passes":
             return _cmd_passes(out)
         return _cmd_benchmarks(out)

@@ -51,3 +51,7 @@ class SchedulingError(CompilationError):
 
 class SimulationError(ReproError):
     """Noisy-executor failure."""
+
+
+class MitigationError(ReproError):
+    """Invalid error-mitigation configuration or input."""

@@ -28,6 +28,10 @@ from repro.experiments.fig11_scalability import (
     ScalePoint,
     run_fig11,
 )
+from repro.experiments.fig_mitigation import (
+    MitigationStudyResult,
+    run_mitigation_study,
+)
 from repro.experiments.table2_benchmarks import Table2Result, run_table2
 
 __all__ = [
@@ -47,6 +51,7 @@ __all__ = [
     "Fig7Result",
     "Fig8Result",
     "Fig9Result",
+    "MitigationStudyResult",
     "ScalePoint",
     "Table2Result",
     "compile_and_run",
@@ -61,5 +66,6 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_mitigation_study",
     "run_table2",
 ]

@@ -71,6 +71,19 @@ class QubitCalibration:
         skew = self.readout_asymmetry if bit else -self.readout_asymmetry
         return self.readout_error * (1.0 + skew)
 
+    def confusion_matrix(self) -> Tuple[Tuple[float, float],
+                                        Tuple[float, float]]:
+        """Column-stochastic readout confusion matrix ``M[measured][true]``.
+
+        Column *j* is the measured-bit distribution of a qubit truly in
+        state *j*, honoring the readout asymmetry; readout-error
+        mitigation (:mod:`repro.mitigation.readout`) inverts it.
+        Returned as nested tuples so this module stays numpy-free.
+        """
+        p0 = self.readout_flip_probability(0)
+        p1 = self.readout_flip_probability(1)
+        return ((1.0 - p0, p1), (p0, 1.0 - p1))
+
 
 @dataclass(frozen=True)
 class EdgeCalibration:

@@ -18,6 +18,12 @@ from repro.runtime.cache import (
     compile_key,
     mapping_prefix_key,
 )
+from repro.runtime.diskcache import (
+    DiskStore,
+    PersistentCompileCache,
+    PersistentStageCache,
+    make_compile_cache,
+)
 from repro.runtime.sweep import (
     DEFAULT_TRIALS,
     CellResult,
@@ -33,12 +39,16 @@ __all__ = [
     "CompileCache",
     "CompileKey",
     "DEFAULT_TRIALS",
+    "DiskStore",
+    "PersistentCompileCache",
+    "PersistentStageCache",
     "PrefixKey",
     "StageCache",
     "SweepCell",
     "SweepResult",
     "TraceCache",
     "compile_key",
+    "make_compile_cache",
     "mapping_prefix_key",
     "run_cell",
     "run_sweep",

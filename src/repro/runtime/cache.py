@@ -46,7 +46,7 @@ from repro.compiler import (
 )
 from repro.hardware import Calibration, ReliabilityTables
 from repro.ir.circuit import Circuit
-from repro.simulator import NoiseModel
+from repro.simulator import NoiseModel, noise_content_key
 
 #: (circuit fingerprint, calibration content id, options fingerprint).
 CompileKey = Tuple[str, str, str]
@@ -115,9 +115,13 @@ class StageCache:
     def __len__(self) -> int:
         return len(self._artifacts)
 
+    def _lookup(self, key: str):
+        """Storage hook for subclasses layering extra tiers."""
+        return self._artifacts.get(key)
+
     def get(self, key: str):
         """The cached artifact, or ``None`` (counted as a miss)."""
-        artifact = self._artifacts.get(key)
+        artifact = self._lookup(key)
         if artifact is None:
             self.stats.misses += 1
         else:
@@ -158,6 +162,19 @@ class CompileCache:
         """Adopt externally built tables (legacy call sites pass them)."""
         self._tables.setdefault(calibration.content_id(), tables)
 
+    def _lookup(self, key: CompileKey) -> Optional[CompiledProgram]:
+        """Storage hook: the cached program for *key*, or ``None``.
+
+        Subclasses (e.g. the persistent cache in
+        :mod:`repro.runtime.diskcache`) override this to consult
+        additional tiers behind the in-memory dictionary.
+        """
+        return self._programs.get(key)
+
+    def _insert(self, key: CompileKey, program: CompiledProgram) -> None:
+        """Storage hook: record a freshly compiled program."""
+        self._programs[key] = program
+
     def get_or_compile(self, circuit: Circuit, calibration: Calibration,
                        options: CompilerOptions
                        ) -> Tuple[CompiledProgram, bool]:
@@ -169,7 +186,7 @@ class CompileCache:
         sweep timing reports count the same work once per cell.
         """
         key = compile_key(circuit, calibration, options)
-        program = self._programs.get(key)
+        program = self._lookup(key)
         if program is not None:
             self.stats.hits += 1
             served = replace(program, compile_time=0.0, cache_hit=True)
@@ -181,7 +198,7 @@ class CompileCache:
         program = compile_circuit(circuit, calibration, options,
                                   tables=self.tables_for(calibration),
                                   stage_cache=self.stages)
-        self._programs[key] = program
+        self._insert(key, program)
         return program, False
 
 
@@ -205,15 +222,11 @@ class TraceCache:
     @staticmethod
     def _key(compiled: CompiledProgram, noise: NoiseModel,
              calibration: Calibration) -> Optional[tuple]:
-        custom = getattr(noise, "trace_key", None)
-        if custom is not None:
-            noise_key = custom()
-        elif type(noise) is NoiseModel:
-            noise_key = (noise.calibration.content_id(),
-                         noise.gate_errors, noise.decoherence,
-                         noise.readout_errors, noise.crosstalk_factor)
-        else:
-            return None  # unknown subclass state: don't risk stale traces
+        noise_key = noise_content_key(noise)
+        if noise_key is None:
+            # Unknown subclass state (or an explicit trace_key() of
+            # None): don't risk stale traces.
+            return None
         # The execute-time calibration is keyed separately from the
         # noise model's: its topology shapes the trace's crosstalk
         # sites, and execute() supports running under a different

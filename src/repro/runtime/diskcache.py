@@ -1,0 +1,211 @@
+"""Persistent on-disk compile/stage cache.
+
+The in-process caches of :mod:`repro.runtime.cache` die with the
+process, so every CLI invocation used to recompile from scratch. This
+module layers a small **content-addressed directory store** underneath
+them: compiled programs and pipeline stage artifacts are pickled into
+``<cache-dir>/compile/`` and ``<cache-dir>/stage/`` under the sha256 of
+their content key, so a repeated ``repro run``/``repro sweep``/``repro
+mitigate`` (or a mitigation sweep's folded pipeline variants) reuses
+compilations across processes.
+
+Design points:
+
+* **Content addressing** — the filename *is* the hashed content key
+  (circuit fingerprint x calibration id x options fingerprint for
+  whole programs; the pipeline's stage-prefix chain key for stage
+  artifacts), so a different *input* is always a different file. Keys
+  cover inputs, not compiler code, so the store layout is additionally
+  namespaced by a digest of the installed package's source: entries
+  written by one version of the code are invisible to an edited one,
+  rather than served stale after a pass's behavior changes.
+* **Eviction-free with an integrity check on load** — the store never
+  deletes; every entry embeds the sha256 of its pickled payload plus
+  the full (unhashed) content key, and a load that fails either check
+  (torn write, bit rot, hash collision) is treated as a miss and
+  recompiled, never trusted.
+* **Concurrency-safe writes** — entries are written to a temp file and
+  published with an atomic :func:`os.replace`, so parallel sweep
+  workers sharing one directory race benignly (last writer wins with
+  an identical artifact).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import repro
+from repro.runtime.cache import CompileCache, CompileKey, StageCache
+
+#: Entry-format tag; bump on layout changes.
+_FORMAT = "v1"
+
+_layout_cache: Optional[str] = None
+
+
+def _layout() -> str:
+    """Store namespace, part of every entry path.
+
+    Content keys hash a compilation's *inputs*, not the compiler's
+    code, so the namespace carries a digest of the installed package's
+    source: editing any ``repro`` module moves the whole store to a
+    fresh directory rather than serving artifacts computed by old
+    code. Deliberately conservative — a docstring edit also
+    invalidates — because a stale compiled program is silent and a
+    recompile is cheap. Computed once per process.
+    """
+    global _layout_cache
+    if _layout_cache is None:
+        hasher = hashlib.sha256()
+        package_root = Path(repro.__file__).parent
+        for path in sorted(package_root.rglob("*.py")):
+            hasher.update(str(path.relative_to(package_root)).encode())
+            hasher.update(path.read_bytes())
+        _layout_cache = f"{_FORMAT}-{hasher.hexdigest()[:16]}"
+    return _layout_cache
+
+
+class DiskStore:
+    """Content-addressed pickle store under one root directory.
+
+    Args:
+        root: Cache directory (created on first write).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def _path(self, kind: str, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()
+        return self.root / _layout() / kind / digest[:2] / digest
+
+    def load(self, kind: str, key: str) -> Optional[object]:
+        """The stored object for *key*, or ``None``.
+
+        Missing entries, payloads whose embedded digest no longer
+        matches, entries recorded under a different full key (digest
+        collision), and unpicklable payloads all return ``None`` — the
+        caller recomputes; nothing is ever served unverified.
+        """
+        try:
+            blob = self._path(kind, key).read_bytes()
+        except OSError:
+            return None
+        digest, _, rest = blob.partition(b"\n")
+        stored_key, _, payload = rest.partition(b"\n")
+        if stored_key.decode("utf-8", errors="replace") != key:
+            return None
+        if hashlib.sha256(payload).hexdigest() != digest.decode(
+                "ascii", errors="replace"):
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            return None
+
+    def store(self, kind: str, key: str, obj: object) -> None:
+        """Persist *obj* under *key* (atomic publish; errors ignored).
+
+        A full disk or an unpicklable artifact degrades to in-memory
+        caching rather than failing the sweep.
+        """
+        try:
+            payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return
+        path = self._path(kind, key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            digest = hashlib.sha256(payload).hexdigest()
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(digest.encode("ascii"))
+                    handle.write(b"\n")
+                    handle.write(key.encode("utf-8"))
+                    handle.write(b"\n")
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+
+
+def _compile_key_string(key: CompileKey) -> str:
+    return "|".join(key)
+
+
+def make_compile_cache(cache_dir=None) -> CompileCache:
+    """The one rule for building a compile cache from a ``cache_dir``.
+
+    Used by the serial sweep path, every pool worker, and the CLI, so
+    the three can't drift: ``None`` means a fresh in-memory cache, a
+    path means the persistent store.
+    """
+    if cache_dir is None:
+        return CompileCache()
+    return PersistentCompileCache(cache_dir)
+
+
+class PersistentStageCache(StageCache):
+    """A :class:`StageCache` backed by a :class:`DiskStore`.
+
+    Disk-served artifacts count as hits (the expensive pass run was
+    avoided) and are promoted into the in-memory tier for the rest of
+    the process.
+    """
+
+    def __init__(self, store: DiskStore) -> None:
+        super().__init__()
+        self._store = store
+
+    def _lookup(self, key: str):
+        artifact = self._artifacts.get(key)
+        if artifact is None:
+            artifact = self._store.load("stage", key)
+            if artifact is not None:
+                self._artifacts[key] = artifact
+        return artifact
+
+    def put(self, key: str, artifact: object) -> None:
+        super().put(key, artifact)
+        self._store.store("stage", key, artifact)
+
+
+class PersistentCompileCache(CompileCache):
+    """A :class:`CompileCache` whose programs and stages persist on disk.
+
+    Drop-in replacement accepted everywhere a ``CompileCache`` is
+    (``run_sweep(compile_cache=...)``, ``compile_and_run``); the CLI
+    builds one from ``--cache-dir``.
+
+    Args:
+        root: Cache directory, shared freely between processes.
+    """
+
+    def __init__(self, root) -> None:
+        super().__init__()
+        self._store = DiskStore(root)
+        self.stages = PersistentStageCache(self._store)
+
+    def _lookup(self, key: CompileKey):
+        program = super()._lookup(key)
+        if program is None:
+            program = self._store.load("compile", _compile_key_string(key))
+            if program is not None:
+                self._programs[key] = program
+        return program
+
+    def _insert(self, key: CompileKey, program) -> None:
+        super()._insert(key, program)
+        self._store.store("compile", _compile_key_string(key), program)

@@ -17,6 +17,7 @@ pipe (cells in, results out) is picklable.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 from typing import List, Sequence, Tuple
 
@@ -26,11 +27,17 @@ from repro.runtime.cache import CacheStats, CompileCache, TraceCache
 IndexedCell = Tuple[int, "SweepCell"]  # noqa: F821 — see runtime.sweep
 
 
-def _run_batch(batch: Sequence[IndexedCell]):
-    """Worker entry point: run one batch with worker-local caches."""
+def _run_batch(batch: Sequence[IndexedCell], cache_dir=None):
+    """Worker entry point: run one batch with worker-local caches.
+
+    With *cache_dir*, the worker's compile/stage cache is additionally
+    backed by the shared on-disk store (writes are atomic, so workers
+    race benignly); lowered traces stay worker-local either way.
+    """
+    from repro.runtime.diskcache import make_compile_cache
     from repro.runtime.sweep import run_cell
 
-    compile_cache = CompileCache()
+    compile_cache = make_compile_cache(cache_dir)
     trace_cache = TraceCache()
     results = [(index, run_cell(cell, compile_cache, trace_cache))
                for index, cell in batch]
@@ -46,7 +53,8 @@ def pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context()
 
 
-def run_batches(batches: Sequence[Sequence[IndexedCell]], workers: int
+def run_batches(batches: Sequence[Sequence[IndexedCell]], workers: int,
+                cache_dir=None
                 ) -> Tuple[list, CacheStats, CacheStats, CacheStats]:
     """Run cell batches across *workers* processes.
 
@@ -56,6 +64,8 @@ def run_batches(batches: Sequence[Sequence[IndexedCell]], workers: int
             must sit in the same batch for the caches to behave
             deterministically.
         workers: Pool size; capped at the number of batches.
+        cache_dir: Optional persistent compile/stage cache directory
+            each worker opens (see :mod:`repro.runtime.diskcache`).
 
     Returns:
         (flat list of (index, result) pairs, merged compile-cache
@@ -66,8 +76,9 @@ def run_batches(batches: Sequence[Sequence[IndexedCell]], workers: int
     trace_stats = CacheStats()
     stage_stats = CacheStats()
     indexed: List[tuple] = []
+    runner = functools.partial(_run_batch, cache_dir=cache_dir)
     with pool_context().Pool(processes=workers) as pool:
-        for results, cstats, tstats, sstats in pool.map(_run_batch, batches):
+        for results, cstats, tstats, sstats in pool.map(runner, batches):
             indexed.extend(results)
             compile_stats.merge(cstats)
             trace_stats.merge(tstats)

@@ -41,7 +41,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, \
+    Tuple
 
 from repro.compiler import CompiledProgram, CompilerOptions
 from repro.exceptions import ReproError
@@ -57,6 +58,9 @@ from repro.runtime.cache import (
     mapping_prefix_key,
 )
 from repro.simulator import ExecutionResult, execute
+
+if TYPE_CHECKING:  # runtime import stays lazy: see run_cell
+    from repro.mitigation.strategy import MitigatedResult, MitigationStrategy
 
 #: Default shot count per cell — the repo-wide source of truth
 #: (``repro.experiments`` re-exports it). The paper uses 8192 hardware
@@ -79,6 +83,14 @@ class SweepCell:
             parallel, any worker count — cannot change results.
         simulate: When ``False``, compile only (fig8/fig9/fig11 style).
         engine: Executor engine (``"batched"`` or ``"trial"``).
+        mitigation: Optional error-mitigation strategy
+            (:mod:`repro.mitigation`) applied on top of the baseline
+            execution — the cell's fourth axis. The strategy's extra
+            executions (noise-scaled traces, folded recompiles) run
+            against the same compile/stage/trace caches as the
+            baseline, so replicated cells amortize them like any other
+            artifact. Requires ``simulate=True`` and an ``expected``
+            outcome.
         key: Free-form hashable identifier the harness uses to file the
             result (e.g. ``("BV4", "r-smt*", day)``).
     """
@@ -91,6 +103,7 @@ class SweepCell:
     seed: int = 7
     simulate: bool = True
     engine: str = "batched"
+    mitigation: Optional["MitigationStrategy"] = None
     key: Hashable = None
 
     def compile_key(self) -> CompileKey:
@@ -116,6 +129,8 @@ class CellResult:
         execution: Monte-Carlo outcome (``None`` for compile-only cells).
         compile_cache_hit: Whether compilation was served from cache.
         trace_cache_hit: Whether the lowered trace was served from cache.
+        mitigation: Outcome of the cell's mitigation strategy, when one
+            was set.
     """
 
     key: Hashable
@@ -123,12 +138,20 @@ class CellResult:
     execution: Optional[ExecutionResult] = None
     compile_cache_hit: bool = False
     trace_cache_hit: bool = False
+    mitigation: Optional["MitigatedResult"] = None
 
     @property
     def success_rate(self) -> float:
         if self.execution is None:
             raise ReproError(f"cell {self.key!r} was not simulated")
         return self.execution.success_rate
+
+    @property
+    def mitigated_success(self) -> float:
+        """The strategy's zero-noise/corrected success estimate."""
+        if self.mitigation is None:
+            raise ReproError(f"cell {self.key!r} was not mitigated")
+        return self.mitigation.mitigated_success
 
 
 @dataclass
@@ -185,15 +208,33 @@ def run_cell(cell: SweepCell, compile_cache: CompileCache,
         cell.circuit, cell.calibration, cell.options)
     execution = None
     trace_hit = False
+    mitigation = None
     if cell.simulate:
         hits_before = trace_cache.stats.hits
         execution = execute(compiled, cell.calibration, trials=cell.trials,
                             seed=cell.seed, expected=cell.expected,
                             engine=cell.engine, trace_cache=trace_cache)
         trace_hit = trace_cache.stats.hits > hits_before
+        if cell.mitigation is not None:
+            # Imported here, not at module top: the mitigation package
+            # depends on the simulator/compiler layers this module also
+            # feeds, and the strategy types are only needed when a grid
+            # actually uses the axis.
+            from repro.mitigation.strategy import MitigationContext
+
+            context = MitigationContext(
+                compiled=compiled, calibration=cell.calibration,
+                baseline=execution, circuit=cell.circuit,
+                options=cell.options, trials=cell.trials, seed=cell.seed,
+                expected=cell.expected, engine=cell.engine,
+                trace_cache=trace_cache,
+                stage_cache=compile_cache.stages,
+                tables=compile_cache.tables_for(cell.calibration))
+            mitigation = cell.mitigation.mitigate(context)
     return CellResult(key=cell.key, compiled=compiled, execution=execution,
                       compile_cache_hit=compile_hit,
-                      trace_cache_hit=trace_hit)
+                      trace_cache_hit=trace_hit,
+                      mitigation=mitigation)
 
 
 def _partition(cells: Sequence[SweepCell], workers: int
@@ -222,7 +263,8 @@ def _partition(cells: Sequence[SweepCell], workers: int
 
 def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
               compile_cache: Optional[CompileCache] = None,
-              trace_cache: Optional[TraceCache] = None) -> SweepResult:
+              trace_cache: Optional[TraceCache] = None,
+              cache_dir=None) -> SweepResult:
     """Execute a sweep grid, serially or across a process pool.
 
     Args:
@@ -236,6 +278,11 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
             cross the process boundary), so these arguments apply to
             the serial path only.
         trace_cache: As above, for lowered traces.
+        cache_dir: Optional directory for a persistent compile/stage
+            cache (:mod:`repro.runtime.diskcache`): compilations
+            survive the process and are shared with other sweeps —
+            including pool workers, which each open the same store.
+            Ignored when an explicit ``compile_cache`` is supplied.
 
     Returns:
         :class:`SweepResult` with per-cell results in input order.
@@ -250,7 +297,7 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
             from repro.runtime.pool import run_batches
 
             indexed, compile_stats, trace_stats, stage_stats = \
-                run_batches(batches, workers)
+                run_batches(batches, workers, cache_dir=cache_dir)
             results: List[Optional[CellResult]] = [None] * len(cells)
             for index, result in indexed:
                 results[index] = result
@@ -263,8 +310,10 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
         # A single compile-key group has no parallelism to exploit:
         # the in-process path below serves it without fork overhead.
 
-    compile_cache = compile_cache if compile_cache is not None \
-        else CompileCache()
+    if compile_cache is None:
+        from repro.runtime.diskcache import make_compile_cache
+
+        compile_cache = make_compile_cache(cache_dir)
     trace_cache = trace_cache if trace_cache is not None else TraceCache()
     results = [run_cell(cell, compile_cache, trace_cache) for cell in cells]
     return SweepResult(results=results, compile_stats=compile_cache.stats,

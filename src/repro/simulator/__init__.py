@@ -14,6 +14,7 @@ from repro.simulator.noise import (
     NoiseModel,
     PauliEvent,
     ideal_noise_model,
+    noise_content_key,
 )
 from repro.simulator.statevector import StateVector, cached_unitary
 from repro.simulator.trace import CompactProgram, ProgramTrace
@@ -39,6 +40,7 @@ __all__ = [
     "empirical_distribution",
     "execute",
     "ideal_noise_model",
+    "noise_content_key",
     "run_batched",
     "success_rate",
     "total_variation_distance",

@@ -29,8 +29,9 @@ changing the sampled law.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -91,6 +92,29 @@ _SAMPLING_HOOKS = ("sample_gate_error", "sample_idle_error",
 def _overrides_sampling_hooks(noise: NoiseModel) -> bool:
     return any(getattr(type(noise), hook) is not getattr(NoiseModel, hook)
                for hook in _SAMPLING_HOOKS)
+
+
+#: Noise-model classes already warned about falling back to the trial
+#: engine — the fallback is correct but easy to miss in sweep timings,
+#: so each class is called out once per process.
+_WARNED_FALLBACK_CLASSES: Set[type] = set()
+
+
+def _warn_trial_fallback(noise: NoiseModel) -> None:
+    cls = type(noise)
+    if cls in _WARNED_FALLBACK_CLASSES:
+        return
+    _WARNED_FALLBACK_CLASSES.add(cls)
+    overridden = [hook for hook in _SAMPLING_HOOKS
+                  if getattr(cls, hook) is not getattr(NoiseModel, hook)]
+    warnings.warn(
+        f"{cls.__name__} overrides the per-trial sampling hook(s) "
+        f"{', '.join(overridden)}; execute(engine='batched') falls back "
+        f"to the slower engine='trial' for it. Subclass via the "
+        f"probability accessors (gate_error_probability / idle_rates / "
+        f"readout_flip_probability) to keep the batched engine, and "
+        f"define trace_key() to stay trace-cacheable.",
+        RuntimeWarning, stacklevel=3)
 
 
 def _dense_event(event: PauliEvent, mapping: Dict[int, int]) -> Tuple[int, str]:
@@ -175,7 +199,10 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
     if engine == "batched" and _overrides_sampling_hooks(noise):
         # A subclass that customizes the per-trial sampling hooks (not
         # just the probability accessors the trace reads) would be
-        # silently ignored by the batched lowering; honor it instead.
+        # silently ignored by the batched lowering; honor it instead
+        # (and say so once — the per-trial loop is orders of magnitude
+        # slower, which is easy to misattribute in sweep timings).
+        _warn_trial_fallback(noise)
         engine = "trial"
     rng = np.random.default_rng(seed)
 

@@ -71,6 +71,26 @@ class NoiseModel:
         gate_errors: Include stochastic gate errors.
         decoherence: Include idle decoherence.
         readout_errors: Include measurement bit flips.
+
+    Subclassing notes:
+        Prefer overriding the **probability accessors**
+        (:meth:`gate_error_probability`, :meth:`idle_rates`,
+        :meth:`readout_flip_probability`) — the batched engine lowers
+        its execution trace from them, so such subclasses keep the
+        fast path. Overriding the per-trial ``sample_*`` hooks instead
+        forces :func:`~repro.simulator.execute` to fall back to the
+        slow ``engine="trial"`` loop (it warns once per class when it
+        does). Either way, an exotic subclass is **bypassed by the
+        trace cache** unless it defines the escape hatch::
+
+            def trace_key(self):
+                # hashable tuple covering every attribute that shapes
+                # the model's probabilities (or None = don't cache)
+                return ("my-model", self.calibration.content_id(), ...)
+
+        Two models whose ``trace_key()`` values are equal must produce
+        identical probabilities for every (program, calibration) pair —
+        the cache serves one model's lowered trace for the other.
     """
 
     def __init__(self, calibration: Calibration, gate_errors: bool = True,
@@ -169,3 +189,25 @@ def ideal_noise_model(calibration: Calibration) -> NoiseModel:
     """A noise model with every mechanism disabled (ideal executor)."""
     return NoiseModel(calibration, gate_errors=False, decoherence=False,
                       readout_errors=False)
+
+
+def noise_content_key(noise: NoiseModel) -> Optional[tuple]:
+    """Hashable content key of a model's probability behavior, or ``None``.
+
+    The single keying rule shared by the trace cache
+    (:class:`repro.runtime.cache.TraceCache`) and by wrappers that
+    derive their own key from a base model's (e.g.
+    :class:`repro.mitigation.zne.ScaledNoiseModel`): a subclass's
+    ``trace_key()`` when it defines one (``None`` from it means
+    "don't cache"), the full constructor state for a plain
+    :class:`NoiseModel`, and ``None`` — uncacheable — for subclasses
+    without the escape hatch, whose behavior this function cannot see.
+    """
+    custom = getattr(type(noise), "trace_key", None)
+    if custom is not None:
+        return noise.trace_key()
+    if type(noise) is NoiseModel:
+        return (noise.calibration.content_id(), noise.gate_errors,
+                noise.decoherence, noise.readout_errors,
+                noise.crosstalk_factor)
+    return None

@@ -246,6 +246,42 @@ class ProgramTrace:
                 self.ideal_distribution.get(string, 0.0) + float(p)
 
     # ------------------------------------------------------------------
+    def rescaled(self, scale: float,
+                 scale_readout: bool = False) -> "ProgramTrace":
+        """A copy of this trace with error probabilities times *scale*.
+
+        The cheap noise-amplification path of zero-noise extrapolation
+        (:mod:`repro.mitigation.zne`): only the flat ``site_prob``
+        array (and, on request, the readout flip arrays) is rebuilt —
+        everything structural (unitary schedule, Pauli-choice
+        cumulatives, ideal distribution, measure maps) is shared with
+        the original, so rescaling costs one clipped numpy multiply
+        instead of a full lowering. Because lowering multiplies each
+        site's firing probability uniformly (conditional Pauli choices
+        are scale-invariant), the result is array-identical to freshly
+        lowering the same program under a
+        :class:`~repro.mitigation.zne.ScaledNoiseModel` for any
+        ``scale > 0`` — same sites, same RNG stream, same counts.
+        (At ``scale = 0`` a fresh lowering would also *drop* the
+        now-impossible sites; the rescaled copy keeps them at
+        probability zero — identical in law, different RNG stream.)
+
+        Args:
+            scale: Non-negative multiplier; probabilities clip at 1.
+            scale_readout: Also scale the per-measure readout flip
+                probabilities.
+        """
+        if scale < 0.0:
+            raise SimulationError("noise scale must be non-negative")
+        clone = object.__new__(ProgramTrace)
+        clone.__dict__.update(self.__dict__)
+        clone.site_prob = np.minimum(self.site_prob * scale, 1.0)
+        if scale_readout:
+            clone.readout_p0 = np.minimum(self.readout_p0 * scale, 1.0)
+            clone.readout_p1 = np.minimum(self.readout_p1 * scale, 1.0)
+        return clone
+
+    # ------------------------------------------------------------------
     def plan_probabilities(self, plan: Dict[int, List[DenseEvent]]
                            ) -> np.ndarray:
         """Measured-pattern distribution after executing one error plan.

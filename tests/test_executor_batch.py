@@ -77,9 +77,10 @@ class TestEngineAgreement:
                 return []
 
         noise = SilentGates(cal, decoherence=False, readout_errors=False)
-        result = execute(programs["BV4"], cal, trials=128, seed=0,
-                         expected=expected_output("BV4"),
-                         noise_model=noise, engine="batched")
+        with pytest.warns(RuntimeWarning, match="engine='trial'"):
+            result = execute(programs["BV4"], cal, trials=128, seed=0,
+                             expected=expected_output("BV4"),
+                             noise_model=noise, engine="batched")
         # gate_error_probability still reports nonzero rates, but the
         # overridden sampler never fires an error.
         assert result.success_rate == pytest.approx(1.0)
