@@ -1,6 +1,6 @@
 """Bench: ablation studies for this repo's own design choices."""
 
-from conftest import BENCH_TRIALS, record
+from conftest import BENCH_TRIALS, SMOKE, record
 
 from repro.experiments.ablations import (
     run_convention_ablation,
@@ -8,12 +8,19 @@ from repro.experiments.ablations import (
     run_peephole_ablation,
 )
 
+#: Smoke mode shrinks the SMT-heavy grids (the omega sweep solves one
+#: R-SMT* model per point) while keeping the benchmarks the shape
+#: assertions below reference.
+OMEGA_BENCHMARKS = ("BV4", "Toffoli") if SMOKE else None
+SUBSET = ["BV4", "HS2", "Toffoli"] if SMOKE else None
+
 
 def test_ablation_omega_sweep(benchmark, calibration):
-    result = benchmark.pedantic(
-        run_omega_sweep,
-        kwargs={"calibration": calibration, "trials": BENCH_TRIALS},
-        rounds=1, iterations=1)
+    kwargs = {"calibration": calibration, "trials": BENCH_TRIALS}
+    if OMEGA_BENCHMARKS is not None:
+        kwargs["benchmarks"] = OMEGA_BENCHMARKS
+    result = benchmark.pedantic(run_omega_sweep, kwargs=kwargs,
+                                rounds=1, iterations=1)
     # The best omega always lies strictly inside (0, 1) or at the
     # balanced point — never at pure-readout (w=1) for CNOT-heavy
     # programs like Toffoli.
@@ -24,7 +31,8 @@ def test_ablation_omega_sweep(benchmark, calibration):
 def test_ablation_peephole(benchmark, calibration):
     result = benchmark.pedantic(
         run_peephole_ablation,
-        kwargs={"calibration": calibration, "trials": BENCH_TRIALS},
+        kwargs={"calibration": calibration, "trials": BENCH_TRIALS,
+                "subset": SUBSET},
         rounds=1, iterations=1)
     for name, before, after, s_plain, s_tidy in result.rows:
         assert after <= before, name
@@ -43,7 +51,10 @@ def test_ablation_swap_convention(benchmark, calibration):
         assert round_trip <= one_way + 1e-12, name
         assert round_trip <= measured + 0.12, name
     # Empirically the paper's one-way convention is the better
-    # predictor (return-swap errors often miss the measured qubits).
-    assert result.mean_abs_error("one-way") <= \
-        result.mean_abs_error("round-trip") + 0.02
+    # predictor (return-swap errors often miss the measured qubits) —
+    # a statistical claim over the full benchmark set at full trials,
+    # so smoke mode (shrunk trials) treats it like a perf bar.
+    if not SMOKE:
+        assert result.mean_abs_error("one-way") <= \
+            result.mean_abs_error("round-trip") + 0.02
     record(benchmark, result.to_text())

@@ -1,0 +1,96 @@
+"""Multi-device sweep throughput: shared per-backend tables vs naive.
+
+The acceptance bar for the backend axis: a fig5-style grid replicated
+over three registered devices must run >= 1.5x faster through
+``run_sweep`` — where each device's
+:class:`~repro.hardware.ReliabilityTables` is built once and memoized
+in the compile cache, and replicated cells share compilations and
+lowered traces — than through a naive loop that rebuilds the tables
+and recompiles for every cell. The results must be bit-identical.
+
+The win is by construction: the naive path pays ``len(cells)`` table
+constructions (all-pairs reliability Dijkstra per calibration) and
+compilations, the sweep path pays one table per device and one compile
+per distinct (device, benchmark, variant).
+"""
+
+import time
+
+from conftest import SMOKE, record
+
+from repro.backend import get_backend
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.hardware import ReliabilityTables
+from repro.programs import get_benchmark
+from repro.runtime import SweepCell, run_sweep
+from repro.simulator import execute
+
+DEVICES = ("ibmq16", "ibmq20", "falcon27")
+BENCHMARKS = ("BV4",) if SMOKE else ("BV4", "HS2")
+SEEDS = (7,) if SMOKE else (7, 8)
+TRIALS = 64 if SMOKE else 256
+
+
+def device_grid():
+    """The same (benchmark x variant x seed) grid on every device."""
+    variants = [CompilerOptions.r_smt_star(omega=0.5),
+                CompilerOptions.t_smt_star(routing="1bp")]
+    cells = []
+    for device in DEVICES:
+        backend = get_backend(device)
+        for name in BENCHMARKS:
+            spec = get_benchmark(name)
+            for options in variants:
+                for seed in SEEDS:
+                    cells.append(SweepCell(
+                        circuit=spec.build(), backend=backend,
+                        options=options,
+                        expected=spec.expected_output,
+                        trials=TRIALS, seed=seed,
+                        key=(device, name, options.variant, seed)))
+    return cells
+
+
+def run_naive(cells):
+    """Per-cell table rebuild + recompile + re-lower (no caches)."""
+    results = {}
+    for cell in cells:
+        tables = ReliabilityTables(cell.calibration)
+        compiled = compile_circuit(cell.circuit, cell.calibration,
+                                   cell.options, tables=tables)
+        results[cell.key] = execute(compiled, cell.calibration,
+                                    trials=cell.trials, seed=cell.seed,
+                                    expected=cell.expected)
+    return results
+
+
+def test_backend_sweep_shares_tables_and_compiles(benchmark):
+    cells = device_grid()
+
+    start = time.perf_counter()
+    naive = run_naive(cells)
+    naive_seconds = time.perf_counter() - start
+
+    sweep = benchmark.pedantic(run_sweep, args=(cells,),
+                               rounds=1, iterations=1)
+    sweep_seconds = sweep.wall_time
+
+    # Identical sampled law: caching must not change a single count.
+    for result in sweep:
+        assert result.execution.counts == naive[result.key].counts
+
+    # The cache structure the speedup rests on: one compile per
+    # distinct configuration, every replicated cell a hit.
+    distinct = len({c.compile_key() for c in cells})
+    assert sweep.compile_stats.misses == distinct
+    assert sweep.compile_stats.hits == len(cells) - distinct
+
+    speedup = naive_seconds / sweep_seconds
+    lines = [f"{len(cells)} cells over {len(DEVICES)} devices",
+             f"naive per-cell rebuilds: {naive_seconds:.2f}s",
+             f"run_sweep (shared tables/compiles): {sweep_seconds:.2f}s",
+             f"speedup: {speedup:.1f}x (bar: >=1.5x)",
+             sweep.summary()]
+    record(benchmark, "\n".join(lines))
+    if not SMOKE:
+        assert speedup >= 1.5, f"only {speedup:.2f}x over naive"

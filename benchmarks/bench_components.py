@@ -7,6 +7,8 @@ multiple pytest-benchmark rounds.
 
 import pytest
 
+from conftest import measure
+
 from repro.compiler import CompilerOptions, compile_circuit
 from repro.hardware import ReliabilityTables
 from repro.programs import build_benchmark, expected_output, random_circuit
@@ -21,8 +23,8 @@ from repro.simulator import execute
 ])
 def test_compile_bv4(benchmark, calibration, tables, variant, options):
     circuit = build_benchmark("BV4")
-    program = benchmark(compile_circuit, circuit, calibration, options,
-                        tables=tables)
+    program = measure(benchmark, compile_circuit, circuit, calibration,
+                      options, tables=tables)
     assert len(program.placement) == 4
 
 
@@ -37,15 +39,15 @@ def test_compile_tsmt_star_toffoli(benchmark, calibration, tables):
 
 
 def test_reliability_tables_construction(benchmark, calibration):
-    tables = benchmark(ReliabilityTables, calibration)
+    tables = measure(benchmark, ReliabilityTables, calibration)
     assert tables.best_path(0, 15).reliability > 0
 
 
 def test_greedy_mapping_large_circuit(benchmark, calibration, tables):
     circuit = random_circuit(16, 1000, seed=3)
     options = CompilerOptions.greedy_e()
-    program = benchmark(compile_circuit, circuit, calibration, options,
-                        tables=tables)
+    program = measure(benchmark, compile_circuit, circuit, calibration,
+                      options, tables=tables)
     assert len(program.placement) == 16
 
 
@@ -63,5 +65,5 @@ def test_simulate_bv4_256_trials(benchmark, calibration, tables):
 def test_qasm_emission(benchmark, calibration, tables):
     program = compile_circuit(build_benchmark("HS6"), calibration,
                               CompilerOptions.r_smt_star(), tables=tables)
-    text = benchmark(program.qasm)
+    text = measure(benchmark, program.qasm)
     assert text.startswith("OPENQASM 2.0;")

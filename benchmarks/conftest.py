@@ -36,3 +36,16 @@ def record(benchmark, result_text: str) -> None:
     """Attach a rendered figure/table to the benchmark record."""
     benchmark.extra_info["result"] = result_text
     print("\n" + result_text)
+
+
+def measure(benchmark, fn, *args, **kwargs):
+    """Run a micro-benchmark subject, honoring smoke mode.
+
+    In smoke mode one measured round suffices (CI only checks the
+    subject still runs and its assertions hold); otherwise defer to
+    pytest-benchmark's own calibration for stable statistics.
+    """
+    if SMOKE:
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return benchmark(fn, *args, **kwargs)

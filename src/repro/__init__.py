@@ -21,6 +21,14 @@ Quickstart::
     print(program.summary(), "->", result.success_rate)
 """
 
+from repro.backend import (
+    Backend,
+    get_backend,
+    register_backend,
+    register_engine,
+    registered_backends,
+    registered_engines,
+)
 from repro.compiler import CompiledProgram, CompilerOptions, compile_circuit
 from repro.exceptions import ReproError
 from repro.hardware import (
@@ -36,6 +44,7 @@ from repro.simulator import ExecutionResult, execute
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
     "Calibration",
     "CalibrationGenerator",
     "Circuit",
@@ -50,6 +59,11 @@ __all__ = [
     "compile_circuit",
     "default_ibmq16_calibration",
     "execute",
+    "get_backend",
     "ibmq16_topology",
     "parse_scaffir",
+    "register_backend",
+    "register_engine",
+    "registered_backends",
+    "registered_engines",
 ]

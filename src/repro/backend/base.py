@@ -1,0 +1,203 @@
+"""The :class:`Backend` target abstraction and its registry.
+
+The paper's central claim is that a good mapping is a function of *the
+machine on the day*: topology, calibration stream, and noise behavior
+together. The repo used to carry those as three loosely-coupled pieces
+(a topology factory, a hand-threaded ``Calibration``, an ``engine``
+string); a :class:`Backend` binds them into one value with a stable
+:meth:`~Backend.content_id`, so "which machine" can be swept, cached
+against, and reported like any other axis.
+
+A backend is *not* a calibration: it is the generator of the machine's
+calibration stream (topology + noise profile + generator seed), plus
+the default execution engine for simulating it. Day-*d* snapshots come
+from :meth:`Backend.calibration` and are memoized process-wide, so a
+thousand sweep cells on ``(falcon27, day 3)`` share one
+:class:`~repro.hardware.calibration.Calibration` object.
+
+Presets register through :func:`register_backend`
+(:mod:`repro.backend.presets` holds the built-ins); third-party code
+registers new machines the same way, without touching this module or
+``hardware/devices.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple, Union
+
+from repro.backend.engines import DEFAULT_ENGINE, unknown_name_message
+from repro.exceptions import BackendError
+from repro.hardware.calibration import Calibration
+from repro.hardware.calibration_gen import CalibrationGenerator, NoiseProfile
+from repro.hardware.topology import GridTopology
+
+#: Process-wide memos keyed by backend content id, so equal backends
+#: (including pickled copies in pool workers) share generators and
+#: snapshots regardless of object identity. The snapshot memo is
+#: FIFO-bounded so a long-lived process sweeping many days/backends
+#: cannot grow it without limit (generators are one per distinct
+#: backend and stay small).
+_GENERATORS: Dict[str, CalibrationGenerator] = {}
+_SNAPSHOTS: Dict[Tuple[str, int], Calibration] = {}
+_MAX_SNAPSHOTS = 512
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One target machine: topology + calibration stream + noise + engine.
+
+    Attributes:
+        name: Registry name (also the CLI's ``--device`` value).
+        topology: The machine's coupling graph.
+        profile: Distributional parameters of the synthetic calibration
+            stream (per-machine: an ion trap and a Falcon drift
+            differently).
+        calibration_seed: Seed of the calibration generator; the full
+            day sequence is a pure function of (topology, profile,
+            seed).
+        default_engine: Execution engine cells on this backend resolve
+            to when they don't pick one explicitly.
+        description: One-line human description for listings.
+    """
+
+    name: str
+    topology: GridTopology
+    profile: NoiseProfile = NoiseProfile()
+    calibration_seed: int = 2019
+    default_engine: str = DEFAULT_ENGINE
+    description: str = ""
+
+    @property
+    def n_qubits(self) -> int:
+        return self.topology.n_qubits
+
+    def with_(self, **changes) -> "Backend":
+        """A copy with the given fields replaced (like
+        ``CompilerOptions.with_``)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def content_id(self) -> str:
+        """Stable content hash of everything that defines this target's
+        *machine* — name, topology, noise profile, calibration seed.
+
+        Two backends serializing identically share an id regardless of
+        object identity (or pickling round-trips); the sweep runtime
+        scopes its compile/stage/trace cache keys by this value so
+        cross-device sweeps can never alias. ``default_engine`` is
+        deliberately excluded: it selects execution dispatch, not any
+        cached artifact, so an engine-comparison sweep over
+        ``backend.with_(default_engine=...)`` variants keeps sharing
+        compilations and lowered traces. Memoized — backends are
+        frozen and treated as immutable.
+        """
+        cached = getattr(self, "_content_id", None)
+        if cached is None:
+            payload = json.dumps({
+                "name": self.name,
+                "topology": {"mx": self.topology.mx, "my": self.topology.my,
+                             "name": self.topology.name},
+                "profile": dataclasses.asdict(self.profile),
+                "calibration_seed": self.calibration_seed,
+            }, sort_keys=True)
+            cached = hashlib.sha256(payload.encode()).hexdigest()
+            object.__setattr__(self, "_content_id", cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Calibration stream
+    # ------------------------------------------------------------------
+    def generator(self) -> CalibrationGenerator:
+        """The (memoized) calibration generator for this machine."""
+        gen = _GENERATORS.get(self.content_id())
+        if gen is None:
+            gen = _GENERATORS[self.content_id()] = CalibrationGenerator(
+                self.topology, seed=self.calibration_seed,
+                profile=self.profile)
+        return gen
+
+    def calibration(self, day: int = 0) -> Calibration:
+        """The day-*day* snapshot (memoized process-wide)."""
+        key = (self.content_id(), day)
+        snapshot = _SNAPSHOTS.get(key)
+        if snapshot is None:
+            while len(_SNAPSHOTS) >= _MAX_SNAPSHOTS:
+                _SNAPSHOTS.pop(next(iter(_SNAPSHOTS)))
+            snapshot = _SNAPSHOTS[key] = self.generator().snapshot(day)
+        return snapshot
+
+    def days(self, n_days: int, start: int = 0) -> Iterator[Calibration]:
+        """Iterate snapshots for *n_days* consecutive days."""
+        for day in range(start, start + n_days):
+            yield self.calibration(day)
+
+    def __repr__(self) -> str:
+        return (f"Backend({self.name!r}, {self.topology.mx}x"
+                f"{self.topology.my}, engine={self.default_engine!r})")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+BackendFactory = Callable[[], Backend]
+
+_BACKENDS: Dict[str, BackendFactory] = {}
+_INSTANCES: Dict[str, Backend] = {}
+
+
+def register_backend(name: str):
+    """Decorator registering a zero-argument :class:`Backend` factory.
+
+    ::
+
+        @register_backend("mylab9")
+        def mylab9() -> Backend:
+            return Backend(name="mylab9", topology=GridTopology(3, 3))
+
+    Names are case-insensitive on lookup. Re-registering a name
+    replaces the previous factory (last wins), matching the pass and
+    mapper registries.
+    """
+    key = name.lower()
+
+    def decorate(factory: BackendFactory) -> BackendFactory:
+        _BACKENDS[key] = factory
+        _INSTANCES.pop(key, None)
+        return factory
+
+    return decorate
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_BACKENDS)
+
+
+def get_backend(backend: Union[str, Backend]) -> Backend:
+    """Resolve a backend name (or pass a :class:`Backend` through).
+
+    Instances are memoized per name — backends are immutable values,
+    so every caller shares one object (and its snapshot memos).
+
+    Raises:
+        BackendError: For unknown names, with a did-you-mean hint and
+            the registered list (a :class:`TopologyError` subclass, so
+            legacy device-lookup callers keep working).
+    """
+    if isinstance(backend, Backend):
+        return backend
+    key = str(backend).lower()
+    instance = _INSTANCES.get(key)
+    if instance is None:
+        factory = _BACKENDS.get(key)
+        if factory is None:
+            raise BackendError(
+                unknown_name_message("backend", backend, _BACKENDS))
+        instance = _INSTANCES[key] = factory()
+    return instance

@@ -15,11 +15,16 @@ Entry points (also available as ``python -m repro``):
 * ``repro mitigate``    — compile, execute, and apply an
   error-mitigation strategy (zero-noise extrapolation, readout
   inversion, or a stack), reporting raw vs mitigated success;
+* ``repro backends``    — list the registered machine targets
+  (:mod:`repro.backend` presets plus any third-party registrations);
 * ``repro passes``      — list the registered compiler passes and
   mapper variants behind the pass-manager pipeline;
 * ``repro benchmarks``  — list the registered Table-2 benchmarks.
 
-``repro run``, ``repro sweep`` and ``repro mitigate`` accept
+Every executing subcommand takes ``--device`` (a registered backend
+name; ``repro sweep`` accepts several and runs the grid per device),
+and ``repro run`` takes ``--engine`` (any registered execution
+engine). ``repro run``, ``repro sweep`` and ``repro mitigate`` accept
 ``--cache-dir DIR`` to persist the compile/stage cache on disk, so
 repeated invocations reuse compilations across processes.
 """
@@ -31,6 +36,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.backend import get_backend, registered_backends, \
+    registered_engines
 from repro.compiler import CompilerOptions, build_pipeline
 from repro.exceptions import ReproError
 from repro.hardware import device_calibration
@@ -59,11 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_machine_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--device", default="ibmq16",
-                       help="preset device (default: ibmq16)")
+                       help="registered backend (default: ibmq16; see "
+                            "`repro backends`)")
         p.add_argument("--day", type=int, default=0,
                        help="calibration day (default: 0)")
-        p.add_argument("--calibration-seed", type=int, default=2019,
-                       help="calibration generator seed")
+        p.add_argument("--calibration-seed", type=int, default=None,
+                       help="calibration generator seed (default: the "
+                            "backend's own)")
 
     def add_compile_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--variant", default="r-smt*",
@@ -105,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     add_compile_args(run_p)
     run_p.add_argument("--trials", type=int, default=1024)
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--engine", default=None,
+                       help="execution engine (default: the backend's "
+                            "own; registered: batched, trial, analytic, "
+                            "plus third-party registrations)")
     run_p.add_argument("--expected", default=None,
                        help="expected outcome string (default: the "
                             "benchmark's registered answer)")
@@ -121,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--trials", type=int, default=1024)
     exp_p.add_argument("--days", type=int, default=None,
                        help="days for fig1/fig6")
+    exp_p.add_argument("--device", default=None,
+                       help="run the study on this registered backend "
+                            "instead of the paper's IBMQ16 (ignored by "
+                            "the device-independent table2/fig11)")
     exp_p.add_argument("--workers", type=int, default=0,
                        help="sweep worker processes (0 = in-process; "
                             "ignored by fig1/table2)")
@@ -128,16 +145,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser(
         "sweep",
         help="run a scenario grid on the parallel sweep runtime",
-        description="Execute a (benchmark x variant x calibration-day x "
-                    "seed) grid through the sweep runtime. Cells sharing "
-                    "a configuration reuse one compilation and one "
-                    "lowered execution trace; --workers >= 2 fans the "
-                    "grid out over a process pool with results "
-                    "bit-identical to the serial run.")
-    sweep_p.add_argument("--device", default="ibmq16",
-                         help="preset device (default: ibmq16)")
-    sweep_p.add_argument("--calibration-seed", type=int, default=2019,
-                         help="calibration generator seed")
+        description="Execute a (device x benchmark x variant x "
+                    "calibration-day x seed) grid through the sweep "
+                    "runtime. Cells sharing a configuration reuse one "
+                    "compilation and one lowered execution trace (cache "
+                    "keys are scoped per device, so cross-device cells "
+                    "never alias); --workers >= 2 fans the grid out "
+                    "over a process pool with results bit-identical to "
+                    "the serial run.")
+    sweep_p.add_argument("--device", nargs="+", default=["ibmq16"],
+                         metavar="NAME",
+                         help="registered backends to sweep — the same "
+                              "grid runs per device (default: ibmq16)")
+    sweep_p.add_argument("--calibration-seed", type=int, default=None,
+                         help="calibration generator seed (default: "
+                              "each backend's own)")
     sweep_p.add_argument("--benchmarks", nargs="+", metavar="NAME",
                          default=["BV4", "HS6", "Toffoli"],
                          choices=benchmark_names(),
@@ -206,6 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
     mit_p.add_argument("--workers", type=int, default=0,
                        help="worker processes (0 = in-process serial)")
     add_cache_dir(mit_p)
+
+    sub.add_parser("backends",
+                   help="list registered machine targets")
 
     sub.add_parser("passes",
                    help="list registered compiler passes and variants")
@@ -279,16 +304,24 @@ def _compile_cache(args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace, out) -> int:
+    from repro.backend import get_engine
+
     circuit, registered_answer = _load_circuit(args)
-    calibration = device_calibration(args.device, day=args.day,
-                                     seed=args.calibration_seed)
+    backend = get_backend(args.device)
+    # Resolve the engine before compiling: an engine typo should fail
+    # in milliseconds, not after the SMT solve.
+    engine = args.engine or backend.default_engine
+    get_engine(engine)
+    if args.calibration_seed is not None:
+        backend = backend.with_(calibration_seed=args.calibration_seed)
+    calibration = backend.calibration(args.day)
     program, cache_hit = _compile_cache(args).get_or_compile(
-        circuit, calibration, _options(args))
+        circuit, calibration, _options(args), backend=backend)
     if cache_hit:
         print("compilation served from cache", file=sys.stderr)
     expected = args.expected or registered_answer
     result = execute(program, calibration, trials=args.trials,
-                     seed=args.seed, expected=expected)
+                     seed=args.seed, expected=expected, engine=engine)
     out.write(program.summary() + "\n")
     if expected is not None:
         out.write(f"success rate: {result.success_rate:.4f} "
@@ -323,26 +356,35 @@ def _cmd_experiment(args: argparse.Namespace, out) -> int:
 
     name = args.name
     workers = args.workers
+    device = args.device
+    if device is not None and name in ("table2", "fig11"):
+        print(f"note: {name} is device-independent; --device ignored",
+              file=sys.stderr)
     if name == "fig1":
-        result = experiments.run_fig1(days=args.days or 25)
+        result = experiments.run_fig1(days=args.days or 25, backend=device)
     elif name == "table2":
         result = experiments.run_table2()
     elif name == "fig5":
-        result = experiments.run_fig5(trials=args.trials, workers=workers)
+        result = experiments.run_fig5(trials=args.trials, workers=workers,
+                                      backend=device)
     elif name == "fig6":
         result = experiments.run_fig6(days=args.days or 7,
-                                      trials=args.trials, workers=workers)
+                                      trials=args.trials, workers=workers,
+                                      backend=device)
     elif name == "fig7":
-        result = experiments.run_fig7(trials=args.trials, workers=workers)
+        result = experiments.run_fig7(trials=args.trials, workers=workers,
+                                      backend=device)
     elif name == "fig8":
-        result = experiments.run_fig8(workers=workers)
+        result = experiments.run_fig8(workers=workers, backend=device)
     elif name == "fig9":
-        result = experiments.run_fig9(workers=workers)
+        result = experiments.run_fig9(workers=workers, backend=device)
     elif name == "fig10":
-        result = experiments.run_fig10(trials=args.trials, workers=workers)
+        result = experiments.run_fig10(trials=args.trials, workers=workers,
+                                       backend=device)
     elif name == "mitigation":
         result = experiments.run_mitigation_study(trials=args.trials,
-                                                  workers=workers)
+                                                  workers=workers,
+                                                  backend=device)
     else:
         result = experiments.run_fig11(workers=workers)
     out.write(result.to_text() + "\n")
@@ -353,18 +395,24 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     from repro.experiments.common import format_table
     from repro.runtime import SweepCell, run_sweep
 
-    calibrations = {day: device_calibration(args.device, day=day,
-                                            seed=args.calibration_seed)
-                    for day in range(args.days)}
+    backends = []
+    for name in args.device:
+        backend = get_backend(name)
+        if args.calibration_seed is not None:
+            backend = backend.with_(
+                calibration_seed=args.calibration_seed)
+        backends.append(backend)
     specs = {name: get_benchmark(name) for name in args.benchmarks}
     circuits = {name: spec.build() for name, spec in specs.items()}
     cells = [SweepCell(circuit=circuits[bench],
-                       calibration=calibrations[day],
+                       backend=backend, day=day,
                        options=_variant_options(variant, args.omega,
                                                 args.routing),
                        expected=specs[bench].expected_output,
                        trials=args.trials, seed=args.seed + s,
-                       key=(bench, variant, day, args.seed + s))
+                       key=(backend.name, bench, variant, day,
+                            args.seed + s))
+             for backend in backends
              for day in range(args.days)
              for bench in args.benchmarks
              for variant in args.variants
@@ -374,14 +422,14 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
 
     rows = []
     for result in sweep:
-        bench, variant, day, seed = result.key
-        rows.append([bench, variant, day, seed,
+        device, bench, variant, day, seed = result.key
+        rows.append([device, bench, variant, day, seed,
                      result.success_rate,
                      result.compiled.swap_count,
                      f"{result.compiled.duration:.0f}"])
     out.write(format_table(
-        ["benchmark", "variant", "day", "seed", "success", "swaps",
-         "duration"], rows) + "\n")
+        ["device", "benchmark", "variant", "day", "seed", "success",
+         "swaps", "duration"], rows) + "\n")
     out.write(sweep.summary() + "\n")
     return 0
 
@@ -390,15 +438,17 @@ def _cmd_mitigate(args: argparse.Namespace, out) -> int:
     from repro.experiments.common import format_table
     from repro.runtime import SweepCell, run_sweep
 
-    calibration = device_calibration(args.device, day=args.day,
-                                     seed=args.calibration_seed)
+    backend = get_backend(args.device)
+    if args.calibration_seed is not None:
+        backend = backend.with_(calibration_seed=args.calibration_seed)
     options = _variant_options(args.variant, args.omega)
     strategy = strategy_from_spec(args.strategy,
                                   scales=args.scales or (),
                                   fit=args.fit, amplifier=args.amplifier)
     specs = {name: get_benchmark(name) for name in args.benchmarks}
-    cells = [SweepCell(circuit=specs[name].build(), calibration=calibration,
-                       options=options, expected=specs[name].expected_output,
+    cells = [SweepCell(circuit=specs[name].build(), backend=backend,
+                       day=args.day, options=options,
+                       expected=specs[name].expected_output,
                        trials=args.trials, seed=args.seed,
                        mitigation=strategy, key=name)
              for name in args.benchmarks]
@@ -424,6 +474,20 @@ def _cmd_mitigate(args: argparse.Namespace, out) -> int:
               f"{mean_raw:.4f} -> {mean_mit:.4f}, improved on "
               f"{improved}/{len(sweep)} benchmarks\n")
     out.write(sweep.summary() + "\n")
+    return 0
+
+
+def _cmd_backends(out) -> int:
+    out.write(f"{'name':10s} {'qubits':>6} {'grid':>6} {'cal.seed':>8} "
+              f"{'engine':>8}  description\n")
+    for name in registered_backends():
+        backend = get_backend(name)
+        grid = f"{backend.topology.mx}x{backend.topology.my}"
+        out.write(f"{name:10s} {backend.n_qubits:>6} {grid:>6} "
+                  f"{backend.calibration_seed:>8} "
+                  f"{backend.default_engine:>8}  {backend.description}\n")
+    out.write("\nregistered execution engines: "
+              + ", ".join(registered_engines()) + "\n")
     return 0
 
 
@@ -477,6 +541,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_sweep(args, out)
         if args.command == "mitigate":
             return _cmd_mitigate(args, out)
+        if args.command == "backends":
+            return _cmd_backends(out)
         if args.command == "passes":
             return _cmd_passes(out)
         return _cmd_benchmarks(out)

@@ -25,6 +25,15 @@ class TopologyError(ReproError):
     """Invalid hardware topology or qubit reference."""
 
 
+class BackendError(TopologyError):
+    """Unknown or misconfigured backend target.
+
+    Subclasses :class:`TopologyError` because the backend registry
+    subsumes the old device registry: callers that caught
+    ``TopologyError`` on an unknown device name keep working.
+    """
+
+
 class CalibrationError(ReproError):
     """Missing or inconsistent calibration data."""
 

@@ -12,10 +12,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
+from repro.backend import Backend, get_backend
 from repro.compiler import CompiledProgram, CompilerOptions
-from repro.hardware import Calibration, ReliabilityTables
+from repro.hardware import (
+    Calibration,
+    ReliabilityTables,
+    default_ibmq16_calibration,
+)
 from repro.ir.circuit import Circuit
 from repro.runtime import (
     DEFAULT_TRIALS,
@@ -28,10 +33,40 @@ from repro.runtime import (
 )
 from repro.simulator import ExecutionResult
 
+#: What every harness's ``backend=`` parameter accepts: a Backend, a
+#: registered preset name (the CLI's ``--device`` string), or None.
+BackendLike = Union[str, Backend, None]
+
 # DEFAULT_TRIALS (re-exported from repro.runtime, the single source of
 # truth): the paper uses 8192 hardware shots; 1024 simulated trials
 # gives ~1.5% standard error, plenty to resolve the multi-x effects
 # under study, at an eighth of the cost.
+
+
+def resolve_backend(backend: BackendLike) -> Optional[Backend]:
+    """The uniform ``backend=`` contract of the figure harnesses.
+
+    ``None`` passes through (the harness falls back to its historical
+    IBMQ16 default), a string resolves through the preset registry
+    (with its did-you-mean error), and a :class:`~repro.backend.Backend`
+    is used as-is.
+    """
+    if backend is None or isinstance(backend, Backend):
+        return backend
+    return get_backend(backend)
+
+
+def harness_calibration(backend: Optional[Backend],
+                        calibration: Optional[Calibration],
+                        day: int = 0) -> Calibration:
+    """The harness rule for picking a snapshot: an explicit
+    ``calibration=`` wins, then the backend's day-*day* snapshot, then
+    the repo-wide default IBMQ16 day-0 snapshot."""
+    if calibration is not None:
+        return calibration
+    if backend is not None:
+        return backend.calibration(day)
+    return default_ibmq16_calibration()
 
 
 def geometric_mean(values: Iterable[float]) -> float:
@@ -87,14 +122,15 @@ class BenchmarkRun:
 
 
 def compile_and_run(circuit: Circuit, expected: str,
-                    calibration: Calibration, options: CompilerOptions,
+                    calibration: Optional[Calibration],
+                    options: CompilerOptions,
                     tables: Optional[ReliabilityTables] = None,
                     trials: int = DEFAULT_TRIALS, seed: int = 7,
                     simulate: bool = True,
-                    engine: str = "batched",
+                    engine: Optional[str] = None,
                     compile_cache: Optional[CompileCache] = None,
-                    trace_cache: Optional[TraceCache] = None
-                    ) -> BenchmarkRun:
+                    trace_cache: Optional[TraceCache] = None,
+                    backend: BackendLike = None) -> BenchmarkRun:
     """Compile a benchmark and (optionally) execute it on the simulator.
 
     A thin single-cell wrapper over the sweep runtime
@@ -103,16 +139,25 @@ def compile_and_run(circuit: Circuit, expected: str,
     :func:`~repro.runtime.run_sweep` instead, which adds cross-cell
     compile/trace caching and parallel execution. Pass a shared
     ``compile_cache``/``trace_cache`` here to get the same reuse across
-    repeated single-cell calls.
+    repeated single-cell calls. ``backend=`` (name or
+    :class:`~repro.backend.Backend`) supplies the machine axis;
+    ``calibration`` may then be ``None`` to use its day-0 snapshot.
     """
+    resolved = resolve_backend(backend)
+    if calibration is None and resolved is not None:
+        # Resolve the backend's snapshot here (the cell would anyway)
+        # so an explicit tables= argument still seeds the cache.
+        calibration = resolved.calibration()
     compile_cache = compile_cache if compile_cache is not None \
         else CompileCache()
-    if tables is not None:
+    if tables is not None and calibration is not None:
+        # calibration can still be None here (no backend either) —
+        # fall through so SweepCell raises its clear ReproError.
         compile_cache.seed_tables(calibration, tables)
     cell = SweepCell(circuit=circuit, calibration=calibration,
                      options=options, expected=expected, trials=trials,
                      seed=seed, simulate=simulate, engine=engine,
-                     key=circuit.name)
+                     backend=resolved, key=circuit.name)
     result = run_cell(cell, compile_cache,
                       trace_cache if trace_cache is not None
                       else TraceCache())

@@ -16,12 +16,15 @@ from typing import Dict, List, Optional
 from repro.compiler import CompilerOptions
 from repro.experiments.common import (
     DEFAULT_TRIALS,
+    BackendLike,
     BenchmarkRun,
     format_table,
     geometric_mean,
+    harness_calibration,
+    resolve_backend,
     run_benchmark_grid,
 )
-from repro.hardware import Calibration, default_ibmq16_calibration
+from repro.hardware import Calibration
 from repro.programs import all_benchmarks
 from repro.runtime import SweepCell
 
@@ -70,15 +73,17 @@ class Fig5Result:
 def run_fig5(calibration: Optional[Calibration] = None,
              trials: int = DEFAULT_TRIALS, seed: int = 7,
              subset: Optional[List[str]] = None,
-             workers: int = 0) -> Fig5Result:
-    """Reproduce Figure 5 on the given calibration snapshot."""
-    cal = calibration or default_ibmq16_calibration()
+             workers: int = 0, backend: BackendLike = None) -> Fig5Result:
+    """Reproduce Figure 5 on the given calibration snapshot (or on
+    ``backend``'s day-0 snapshot — any registered device name works)."""
+    backend = resolve_backend(backend)
+    cal = harness_calibration(backend, calibration)
     configs = [CompilerOptions.qiskit(),
                CompilerOptions.t_smt_star(routing="1bp"),
                CompilerOptions.r_smt_star(omega=0.5)]
     cells = [SweepCell(circuit=circuit, calibration=cal, options=options,
                        expected=expected, trials=trials, seed=seed,
-                       key=(name, options.variant))
+                       backend=backend, key=(name, options.variant))
              for name, circuit, expected in all_benchmarks(subset)
              for options in configs]
     runs, _ = run_benchmark_grid(cells, workers=workers)

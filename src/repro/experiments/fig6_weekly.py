@@ -14,7 +14,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.compiler import CompilerOptions
 from repro.experiments.common import (
     DEFAULT_TRIALS,
+    BackendLike,
     format_table,
+    resolve_backend,
 )
 from repro.hardware import CalibrationGenerator, ibmq16_topology
 from repro.programs import get_benchmark
@@ -51,9 +53,19 @@ class Fig6Result:
 def run_fig6(days: int = 7, trials: int = DEFAULT_TRIALS, seed: int = 7,
              generator_seed: int = 2019,
              benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS,
-             workers: int = 0) -> Fig6Result:
-    """Reproduce Figure 6's week-long study."""
-    generator = CalibrationGenerator(ibmq16_topology(), seed=generator_seed)
+             workers: int = 0, backend: BackendLike = None) -> Fig6Result:
+    """Reproduce Figure 6's week-long study.
+
+    With ``backend``, the week runs on that machine's own calibration
+    stream (its profile and seed; ``generator_seed`` is ignored).
+    """
+    backend = resolve_backend(backend)
+    if backend is not None:
+        calibrations = list(backend.days(days))
+    else:
+        generator = CalibrationGenerator(ibmq16_topology(),
+                                         seed=generator_seed)
+        calibrations = list(generator.days(days))
     configs = [CompilerOptions.t_smt_star(routing="1bp"),
                CompilerOptions.r_smt_star(omega=0.5)]
     # Benchmarks don't change day to day: build each circuit once and
@@ -64,8 +76,9 @@ def run_fig6(days: int = 7, trials: int = DEFAULT_TRIALS, seed: int = 7,
                        options=options,
                        expected=specs[bench].expected_output,
                        trials=trials, seed=seed + day,
+                       backend=backend, day=day,
                        key=(bench, options.variant, day))
-             for day, cal in enumerate(generator.days(days))
+             for day, cal in enumerate(calibrations)
              for bench in benchmarks
              for options in configs]
 

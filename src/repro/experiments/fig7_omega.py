@@ -15,11 +15,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.compiler import CompilerOptions
 from repro.experiments.common import (
     DEFAULT_TRIALS,
+    BackendLike,
     BenchmarkRun,
     format_table,
+    harness_calibration,
+    resolve_backend,
     run_benchmark_grid,
 )
-from repro.hardware import Calibration, default_ibmq16_calibration
+from repro.hardware import Calibration
 from repro.programs import get_benchmark
 from repro.runtime import SweepCell
 
@@ -59,9 +62,10 @@ def run_fig7(calibration: Optional[Calibration] = None,
              trials: int = DEFAULT_TRIALS, seed: int = 7,
              benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS,
              omegas: Tuple[float, ...] = DEFAULT_OMEGAS,
-             workers: int = 0) -> Fig7Result:
+             workers: int = 0, backend: BackendLike = None) -> Fig7Result:
     """Reproduce Figure 7's objective-function study."""
-    cal = calibration or default_ibmq16_calibration()
+    backend = resolve_backend(backend)
+    cal = harness_calibration(backend, calibration)
     configs: List[Tuple[str, CompilerOptions]] = \
         [("t-smt*", CompilerOptions.t_smt_star(routing="1bp"))]
     for omega in omegas:
@@ -72,7 +76,8 @@ def run_fig7(calibration: Optional[Calibration] = None,
     cells = [SweepCell(circuit=circuits[bench], calibration=cal,
                        options=options,
                        expected=specs[bench].expected_output,
-                       trials=trials, seed=seed, key=(bench, label))
+                       trials=trials, seed=seed, backend=backend,
+                       key=(bench, label))
              for bench in benchmarks
              for label, options in configs]
     runs, _ = run_benchmark_grid(cells, workers=workers)

@@ -15,7 +15,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.compiler import CompiledProgram, CompilerOptions
-from repro.hardware import Calibration, default_ibmq16_calibration
+from repro.experiments.common import (
+    BackendLike,
+    harness_calibration,
+    resolve_backend,
+)
+from repro.hardware import Calibration
 from repro.programs import get_benchmark
 from repro.runtime import SweepCell, run_sweep
 
@@ -59,9 +64,11 @@ class Fig8Result:
 
 
 def run_fig8(calibration: Optional[Calibration] = None,
-             benchmark: str = "BV4", workers: int = 0) -> Fig8Result:
+             benchmark: str = "BV4", workers: int = 0,
+             backend: BackendLike = None) -> Fig8Result:
     """Reproduce Figure 8's mapping comparison."""
-    cal = calibration or default_ibmq16_calibration()
+    backend = resolve_backend(backend)
+    cal = harness_calibration(backend, calibration)
     spec = get_benchmark(benchmark)
     circuit = spec.build()
     configs: List[Tuple[str, CompilerOptions]] = [
@@ -71,7 +78,7 @@ def run_fig8(calibration: Optional[Calibration] = None,
         ("r-smt*(w=0.5)", CompilerOptions.r_smt_star(omega=0.5)),
     ]
     cells = [SweepCell(circuit=circuit, calibration=cal, options=options,
-                       simulate=False, key=label)
+                       simulate=False, backend=backend, key=label)
              for label, options in configs]
     compiled = {result.key: result.compiled
                 for result in run_sweep(cells, workers=workers)}

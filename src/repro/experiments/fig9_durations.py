@@ -16,12 +16,15 @@ from typing import Dict, List, Optional
 
 from repro.compiler import CompilerOptions
 from repro.experiments.common import (
+    BackendLike,
     BenchmarkRun,
     format_table,
     geometric_mean,
+    harness_calibration,
+    resolve_backend,
     run_benchmark_grid,
 )
-from repro.hardware import Calibration, default_ibmq16_calibration
+from repro.hardware import Calibration
 from repro.programs import all_benchmarks
 from repro.runtime import SweepCell
 
@@ -54,9 +57,10 @@ class Fig9Result:
 
 def run_fig9(calibration: Optional[Calibration] = None,
              subset: Optional[List[str]] = None,
-             workers: int = 0) -> Fig9Result:
+             workers: int = 0, backend: BackendLike = None) -> Fig9Result:
     """Reproduce Figure 9 (compile-only; no simulation needed)."""
-    cal = calibration or default_ibmq16_calibration()
+    backend = resolve_backend(backend)
+    cal = harness_calibration(backend, calibration)
     configs = [
         ("t-smt(rr)", CompilerOptions.t_smt(routing="rr")),
         ("t-smt*(rr)", CompilerOptions.t_smt_star(routing="rr")),
@@ -64,7 +68,7 @@ def run_fig9(calibration: Optional[Calibration] = None,
         ("r-smt*(1bp)", CompilerOptions.r_smt_star(omega=0.5)),
     ]
     cells = [SweepCell(circuit=circuit, calibration=cal, options=options,
-                       expected=expected, simulate=False,
+                       expected=expected, simulate=False, backend=backend,
                        key=(name, label))
              for name, circuit, expected in all_benchmarks(subset)
              for label, options in configs]

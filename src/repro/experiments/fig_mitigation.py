@@ -27,10 +27,13 @@ from repro.compiler import CompilerOptions
 from repro.exceptions import ReproError
 from repro.experiments.common import (
     DEFAULT_TRIALS,
+    BackendLike,
     format_table,
     geometric_mean,
+    harness_calibration,
+    resolve_backend,
 )
-from repro.hardware import Calibration, default_ibmq16_calibration
+from repro.hardware import Calibration
 from repro.mitigation import MitigationStrategy, ZneStrategy, \
     strategy_from_spec
 from repro.programs import get_benchmark
@@ -121,7 +124,8 @@ def run_mitigation_study(
         strategies: Optional[Sequence[MitigationStrategy]] = None,
         calibration: Optional[Calibration] = None,
         trials: int = DEFAULT_TRIALS, seed: int = 7,
-        workers: int = 0, cache_dir=None) -> MitigationStudyResult:
+        workers: int = 0, cache_dir=None,
+        backend: BackendLike = None) -> MitigationStudyResult:
     """Run the (benchmark x variant x strategy) mitigation grid.
 
     Args:
@@ -130,13 +134,17 @@ def run_mitigation_study(
             with one-bend routing, and R-SMT*).
         strategies: Mitigation strategies to apply (default: ZNE,
             readout inversion, and their stack).
-        calibration: Machine snapshot (default: day-0 IBMQ16).
+        calibration: Machine snapshot (default: day-0 of the backend,
+            or of IBMQ16).
         trials: Shots per execution (scaled executions included).
         seed: Base executor seed.
         workers: Sweep worker processes.
         cache_dir: Optional persistent compile/stage cache directory.
+        backend: Machine to run on — a registered preset name or a
+            :class:`~repro.backend.Backend` (default: IBMQ16).
     """
-    cal = calibration or default_ibmq16_calibration()
+    backend = resolve_backend(backend)
+    cal = harness_calibration(backend, calibration)
     variants = list(variants) if variants is not None else [
         CompilerOptions.t_smt_star(routing="1bp"),
         CompilerOptions.r_smt_star(omega=0.5),
@@ -151,6 +159,7 @@ def run_mitigation_study(
     cells = [SweepCell(circuit=circuits[name], calibration=cal,
                        options=options, expected=specs[name].expected_output,
                        trials=trials, seed=seed, mitigation=strategy,
+                       backend=backend,
                        key=(name, options.variant, strategy.name))
              for name in benchmarks
              for options in variants

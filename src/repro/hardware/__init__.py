@@ -15,8 +15,8 @@ from repro.hardware.calibration_gen import (
     default_ibmq16_calibration,
 )
 from repro.hardware.devices import (
-    DEVICE_REGISTRY,
     device_calibration,
+    device_names,
     device_topology,
     ibmq5_topology,
     ibmq20_topology,
@@ -33,8 +33,8 @@ from repro.hardware.topology import (
 __all__ = [
     "Calibration",
     "CalibrationGenerator",
-    "DEVICE_REGISTRY",
     "device_calibration",
+    "device_names",
     "device_topology",
     "ibmq20_topology",
     "ibmq5_topology",

@@ -1,65 +1,74 @@
-"""Preset device models.
+"""Preset device lookups (compatibility layer over :mod:`repro.backend`).
 
-Grid approximations of the machines discussed in the paper and its
-related work, plus the linear (ion-trap-style) topology §9 mentions as
-an extension target. All are :class:`GridTopology` instances, so every
-compiler variant works on them unchanged.
+The old ``DEVICE_REGISTRY`` dict lived here; machines are now
+first-class :class:`~repro.backend.Backend` values registered with
+:func:`repro.backend.register_backend` (presets in
+:mod:`repro.backend.presets`). This module keeps the established
+entry points — :func:`device_topology` and :func:`device_calibration`
+— as thin wrappers over that registry, so adding a machine never means
+editing this file again.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Optional
 
-from repro.exceptions import TopologyError
 from repro.hardware.calibration import Calibration
-from repro.hardware.calibration_gen import CalibrationGenerator, NoiseProfile
-from repro.hardware.topology import GridTopology, ibmq16_topology
+from repro.hardware.calibration_gen import NoiseProfile
+from repro.hardware.topology import (  # noqa: F401 — re-exported (the
+    GridTopology,                      # factories lived here pre-registry)
+    ibmq5_topology,
+    ibmq20_topology,
+    linear_topology,
+)
+
+# The registry import is deliberately lazy (inside each function):
+# repro.backend depends on the hardware submodules this package
+# initializes, so an import-time reference here would be circular.
 
 
-def ibmq5_topology() -> GridTopology:
-    """A 5-qubit IBM device approximated as a 1x5 line."""
-    return GridTopology(mx=5, my=1, name="IBMQ5")
+def device_names() -> tuple:
+    """Registered preset device names (replaces ``DEVICE_REGISTRY``)."""
+    from repro.backend import registered_backends
 
-
-def ibmq20_topology() -> GridTopology:
-    """The 20-qubit IBM device (Tokyo-class) as a 5x4 grid."""
-    return GridTopology(mx=5, my=4, name="IBMQ20")
-
-
-def linear_topology(n_qubits: int, name: str = "") -> GridTopology:
-    """A 1-D chain — the nearest-neighbor ion-trap-style layout."""
-    if n_qubits < 1:
-        raise TopologyError("need at least one qubit")
-    return GridTopology(mx=n_qubits, my=1,
-                        name=name or f"linear{n_qubits}")
-
-
-#: Name -> topology factory, for CLI and experiment parameterization.
-DEVICE_REGISTRY = {
-    "ibmq16": ibmq16_topology,
-    "ibmq5": ibmq5_topology,
-    "ibmq20": ibmq20_topology,
-}
+    return registered_backends()
 
 
 def device_topology(name: str) -> GridTopology:
-    """Look up a preset device by name.
+    """Look up a preset device's topology by name.
 
     Raises:
-        TopologyError: For unknown device names.
+        TopologyError: For unknown device names (a
+            :class:`~repro.exceptions.BackendError`, with a
+            did-you-mean hint).
     """
-    try:
-        return DEVICE_REGISTRY[name.lower()]()
-    except KeyError:
-        raise TopologyError(
-            f"unknown device {name!r}; known: {sorted(DEVICE_REGISTRY)}"
-        ) from None
+    from repro.backend import get_backend
+
+    return get_backend(name).topology
 
 
-def device_calibration(name: str, day: int = 0, seed: int = 2019,
-                       profile: NoiseProfile = NoiseProfile()
+def device_calibration(name: str, day: int = 0, seed: Optional[int] = None,
+                       profile: Optional[NoiseProfile] = None
                        ) -> Calibration:
-    """Synthetic calibration snapshot for a preset device."""
-    topo = device_topology(name)
-    return CalibrationGenerator(topo, seed=seed, profile=profile) \
-        .snapshot(day)
+    """Synthetic calibration snapshot for a preset device.
+
+    Args:
+        name: Registered backend name.
+        day: Calibration day.
+        seed: Calibration-generator seed override (default: the
+            backend's own, 2019 for the built-in presets).
+        profile: Noise-profile override (default: the backend's own —
+            note several presets carry non-default profiles, so only
+            pass one deliberately).
+    """
+    from repro.backend import get_backend
+
+    backend = get_backend(name)
+    overrides = {}
+    if seed is not None:
+        overrides["calibration_seed"] = seed
+    if profile is not None:
+        overrides["profile"] = profile
+    if overrides:
+        backend = backend.with_(**overrides)
+    return backend.calibration(day)

@@ -150,6 +150,24 @@ def ibmq16_topology() -> GridTopology:
     return GridTopology(mx=8, my=2, name="IBMQ16")
 
 
+def ibmq5_topology() -> GridTopology:
+    """A 5-qubit IBM device approximated as a 1x5 line."""
+    return GridTopology(mx=5, my=1, name="IBMQ5")
+
+
+def ibmq20_topology() -> GridTopology:
+    """The 20-qubit IBM device (Tokyo-class) as a 5x4 grid."""
+    return GridTopology(mx=5, my=4, name="IBMQ20")
+
+
+def linear_topology(n_qubits: int, name: str = "") -> GridTopology:
+    """A 1-D chain — the nearest-neighbor ion-trap-style layout."""
+    if n_qubits < 1:
+        raise TopologyError("need at least one qubit")
+    return GridTopology(mx=n_qubits, my=1,
+                        name=name or f"linear{n_qubits}")
+
+
 def square_topology(n_qubits: int) -> GridTopology:
     """Smallest near-square grid holding *n_qubits* (for Fig.-11 sweeps)."""
     if n_qubits < 1:

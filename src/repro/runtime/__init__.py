@@ -16,12 +16,14 @@ from repro.runtime.cache import (
     StageCache,
     TraceCache,
     compile_key,
+    machine_id,
     mapping_prefix_key,
 )
 from repro.runtime.diskcache import (
     DiskStore,
     PersistentCompileCache,
     PersistentStageCache,
+    StoreStats,
     make_compile_cache,
 )
 from repro.runtime.sweep import (
@@ -44,10 +46,12 @@ __all__ = [
     "PersistentStageCache",
     "PrefixKey",
     "StageCache",
+    "StoreStats",
     "SweepCell",
     "SweepResult",
     "TraceCache",
     "compile_key",
+    "machine_id",
     "make_compile_cache",
     "mapping_prefix_key",
     "run_cell",

@@ -36,11 +36,64 @@ import hashlib
 import os
 import pickle
 import tempfile
+from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional
 
 import repro
 from repro.runtime.cache import CompileCache, CompileKey, StageCache
+
+
+@dataclass
+class StoreStats:
+    """Per-tier counters of one persistent store kind.
+
+    Counts only the *disk* tier's traffic: a ``load`` is attempted
+    only after the in-memory tier missed, so ``hits`` here are
+    compilations served across process boundaries (and ``misses``
+    are first-ever computations or integrity-check rejections).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def merge(self, other: "StoreStats") -> None:
+        """Fold another counter (e.g. a pool worker's) into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+
+    def minus(self, baseline: "StoreStats") -> "StoreStats":
+        """The traffic since *baseline* (an earlier snapshot of the
+        same counter) — how a sweep isolates its own share of a reused
+        cache's cumulative totals."""
+        return StoreStats(hits=self.hits - baseline.hits,
+                          misses=self.misses - baseline.misses,
+                          bytes_read=self.bytes_read - baseline.bytes_read,
+                          bytes_written=self.bytes_written
+                          - baseline.bytes_written)
+
+    def describe(self) -> str:
+        """Compact ``hits/lookups hit, read/written`` rendering."""
+        return (f"{self.hits}/{self.lookups} hit, "
+                f"{_format_bytes(self.bytes_read)} read, "
+                f"{_format_bytes(self.bytes_written)} written")
+
+
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.0f}B" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{n}B"  # pragma: no cover — unreachable
 
 #: Entry-format tag; bump on layout changes.
 _FORMAT = "v1"
@@ -79,6 +132,14 @@ class DiskStore:
 
     def __init__(self, root) -> None:
         self.root = Path(root)
+        #: Per-kind (``"compile"``/``"stage"``) disk-tier counters.
+        self.stats: Dict[str, StoreStats] = {}
+
+    def stats_for(self, kind: str) -> StoreStats:
+        stats = self.stats.get(kind)
+        if stats is None:
+            stats = self.stats[kind] = StoreStats()
+        return stats
 
     def _path(self, kind: str, key: str) -> Path:
         digest = hashlib.sha256(key.encode()).hexdigest()
@@ -92,21 +153,29 @@ class DiskStore:
         collision), and unpicklable payloads all return ``None`` — the
         caller recomputes; nothing is ever served unverified.
         """
+        stats = self.stats_for(kind)
         try:
             blob = self._path(kind, key).read_bytes()
         except OSError:
+            stats.misses += 1
             return None
+        stats.bytes_read += len(blob)
         digest, _, rest = blob.partition(b"\n")
         stored_key, _, payload = rest.partition(b"\n")
         if stored_key.decode("utf-8", errors="replace") != key:
+            stats.misses += 1
             return None
         if hashlib.sha256(payload).hexdigest() != digest.decode(
                 "ascii", errors="replace"):
+            stats.misses += 1
             return None
         try:
-            return pickle.loads(payload)
+            obj = pickle.loads(payload)
         except Exception:
+            stats.misses += 1
             return None
+        stats.hits += 1
+        return obj
 
     def store(self, kind: str, key: str, obj: object) -> None:
         """Persist *obj* under *key* (atomic publish; errors ignored).
@@ -139,6 +208,8 @@ class DiskStore:
                 raise
         except OSError:
             return
+        self.stats_for(kind).bytes_written += \
+            len(payload) + len(digest) + len(key) + 2
 
 
 def _compile_key_string(key: CompileKey) -> str:
@@ -197,6 +268,18 @@ class PersistentCompileCache(CompileCache):
         super().__init__()
         self._store = DiskStore(root)
         self.stages = PersistentStageCache(self._store)
+
+    def disk_stats(self) -> Dict[str, StoreStats]:
+        """Per-kind disk-tier counters of the shared store.
+
+        Returned as a snapshot (copied counters) of the cache's
+        cumulative totals; callers reporting a bounded span (e.g.
+        :func:`~repro.runtime.sweep.run_sweep`, whose result describes
+        one sweep) take a snapshot before and after and diff with
+        :meth:`StoreStats.minus`.
+        """
+        return {kind: replace(stats)
+                for kind, stats in self._store.stats.items()}
 
     def _lookup(self, key: CompileKey):
         program = super()._lookup(key)

@@ -42,7 +42,7 @@ def _run_batch(batch: Sequence[IndexedCell], cache_dir=None):
     results = [(index, run_cell(cell, compile_cache, trace_cache))
                for index, cell in batch]
     return (results, compile_cache.stats, trace_cache.stats,
-            compile_cache.stages.stats)
+            compile_cache.stages.stats, compile_cache.disk_stats())
 
 
 def pool_context() -> multiprocessing.context.BaseContext:
@@ -55,7 +55,7 @@ def pool_context() -> multiprocessing.context.BaseContext:
 
 def run_batches(batches: Sequence[Sequence[IndexedCell]], workers: int,
                 cache_dir=None
-                ) -> Tuple[list, CacheStats, CacheStats, CacheStats]:
+                ) -> Tuple[list, CacheStats, CacheStats, CacheStats, dict]:
     """Run cell batches across *workers* processes.
 
     Args:
@@ -69,18 +69,26 @@ def run_batches(batches: Sequence[Sequence[IndexedCell]], workers: int,
 
     Returns:
         (flat list of (index, result) pairs, merged compile-cache
-        stats, merged trace-cache stats, merged stage-cache stats).
+        stats, merged trace-cache stats, merged stage-cache stats,
+        merged per-tier disk-store stats — empty without *cache_dir*).
     """
     workers = min(workers, len(batches))
     compile_stats = CacheStats()
     trace_stats = CacheStats()
     stage_stats = CacheStats()
+    disk_stats: dict = {}
     indexed: List[tuple] = []
     runner = functools.partial(_run_batch, cache_dir=cache_dir)
     with pool_context().Pool(processes=workers) as pool:
-        for results, cstats, tstats, sstats in pool.map(runner, batches):
+        for results, cstats, tstats, sstats, dstats in \
+                pool.map(runner, batches):
             indexed.extend(results)
             compile_stats.merge(cstats)
             trace_stats.merge(tstats)
             stage_stats.merge(sstats)
-    return indexed, compile_stats, trace_stats, stage_stats
+            for kind, stats in dstats.items():
+                if kind in disk_stats:
+                    disk_stats[kind].merge(stats)
+                else:
+                    disk_stats[kind] = stats
+    return indexed, compile_stats, trace_stats, stage_stats, disk_stats

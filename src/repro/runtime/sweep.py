@@ -1,9 +1,20 @@
 """Declarative scenario sweeps with deterministic parallel execution.
 
 An experiment is expressed as a flat grid of :class:`SweepCell` values
-— (circuit, options, calibration, trials, seed, engine) — and handed to
-:func:`run_sweep`, which executes the cells serially or across a
-process pool and returns per-cell results in grid order.
+— (circuit, options, backend/calibration, trials, seed, engine) — and
+handed to :func:`run_sweep`, which executes the cells serially or
+across a process pool and returns per-cell results in grid order.
+
+"Which machine" is a first-class axis: a cell may name a
+:class:`~repro.backend.Backend` instead of (or in addition to) a
+concrete calibration — the calibration and engine fields are then
+derived from the backend (day-*day* snapshot, default engine) but
+remain overridable. Cells carrying a backend get cache keys scoped by
+``Backend.content_id()`` on every tier (compile, stage, trace), so
+cross-device sweeps can never alias, and the parallel scheduler groups
+cells by backend before mapping-prefix so per-device
+:class:`~repro.hardware.ReliabilityTables` memos are shared within a
+worker.
 
 Three properties the figure harnesses rely on:
 
@@ -44,6 +55,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, \
     Tuple
 
+from repro.backend import DEFAULT_ENGINE, Backend
 from repro.compiler import CompiledProgram, CompilerOptions
 from repro.exceptions import ReproError
 from repro.hardware import Calibration
@@ -61,6 +73,7 @@ from repro.simulator import ExecutionResult, execute
 
 if TYPE_CHECKING:  # runtime import stays lazy: see run_cell
     from repro.mitigation.strategy import MitigatedResult, MitigationStrategy
+    from repro.runtime.diskcache import StoreStats
 
 #: Default shot count per cell — the repo-wide source of truth
 #: (``repro.experiments`` re-exports it). The paper uses 8192 hardware
@@ -75,47 +88,83 @@ class SweepCell:
     Attributes:
         circuit: The logical program to compile.
         calibration: Machine snapshot to compile for and execute under.
-        options: Compiler configuration.
+            Optional when a ``backend`` is set — it then defaults to
+            the backend's day-``day`` snapshot (explicit values win,
+            e.g. to model stale-calibration compilation).
+        options: Compiler configuration (required; keyword-friendly
+            ``None`` default only so ``calibration`` can be optional).
         expected: The benchmark's known answer (success-rate accounting).
         trials: Shot count.
         seed: Per-cell master RNG seed. Seeding is the cell's own
             responsibility precisely so that execution order — serial,
             parallel, any worker count — cannot change results.
         simulate: When ``False``, compile only (fig8/fig9/fig11 style).
-        engine: Executor engine (``"batched"`` or ``"trial"``).
+        engine: Executor engine name (any registered
+            :class:`~repro.backend.engines.ExecutionEngine`). Defaults
+            to the backend's ``default_engine``, or ``"batched"``
+            without a backend.
         mitigation: Optional error-mitigation strategy
             (:mod:`repro.mitigation`) applied on top of the baseline
-            execution — the cell's fourth axis. The strategy's extra
-            executions (noise-scaled traces, folded recompiles) run
-            against the same compile/stage/trace caches as the
-            baseline, so replicated cells amortize them like any other
-            artifact. Requires ``simulate=True`` and an ``expected``
-            outcome.
+            execution. The strategy's extra executions (noise-scaled
+            traces, folded recompiles) run against the same
+            compile/stage/trace caches as the baseline, so replicated
+            cells amortize them like any other artifact. Requires
+            ``simulate=True`` and an ``expected`` outcome.
+        backend: Optional :class:`~repro.backend.Backend` — the cell's
+            machine axis. Scopes every cache key by the backend's
+            content id and supplies the derived calibration/engine
+            defaults above.
+        day: Calibration day used when the calibration is derived from
+            the backend (ignored when ``calibration`` is explicit).
         key: Free-form hashable identifier the harness uses to file the
             result (e.g. ``("BV4", "r-smt*", day)``).
     """
 
     circuit: Circuit
-    calibration: Calibration
-    options: CompilerOptions
+    calibration: Optional[Calibration] = None
+    options: Optional[CompilerOptions] = None
     expected: Optional[str] = None
     trials: int = DEFAULT_TRIALS
     seed: int = 7
     simulate: bool = True
-    engine: str = "batched"
+    engine: Optional[str] = None
     mitigation: Optional["MitigationStrategy"] = None
+    backend: Optional[Backend] = None
+    day: int = 0
     key: Hashable = None
+
+    def __post_init__(self) -> None:
+        if self.options is None:
+            raise ReproError("SweepCell needs compiler options")
+        if self.calibration is None:
+            if self.backend is None:
+                raise ReproError(
+                    "SweepCell needs a calibration or a backend to "
+                    "derive one from")
+            self.calibration = self.backend.calibration(self.day)
+        if self.engine is None:
+            self.engine = (self.backend.default_engine
+                           if self.backend is not None else DEFAULT_ENGINE)
+
+    def machine_key(self) -> str:
+        """Content identity of the cell's machine (backend when set,
+        bare calibration otherwise) — the scheduler's outer grouping
+        level and the cache-key scope."""
+        if self.backend is not None:
+            return self.backend.content_id()
+        return self.calibration.content_id()
 
     def compile_key(self) -> CompileKey:
         """Content key of this cell's compilation stage."""
-        return compile_key(self.circuit, self.calibration, self.options)
+        return compile_key(self.circuit, self.calibration, self.options,
+                           self.backend)
 
     def prefix_key(self) -> PrefixKey:
         """Content key of this cell's mapping stage (coarser than
         :meth:`compile_key`): cells sharing it reuse one mapping
         artifact even when their post-mapping options differ."""
         return mapping_prefix_key(self.circuit, self.calibration,
-                                  self.options)
+                                  self.options, self.backend)
 
 
 @dataclass
@@ -164,6 +213,12 @@ class SweepResult:
         trace_stats: Aggregated trace-cache counters.
         stage_stats: Aggregated stage-cache counters (per-pass artifact
             reuse inside whole-program compile misses).
+        disk_stats: Persistent-store counters per tier
+            (``"compile"``/``"stage"`` →
+            :class:`~repro.runtime.diskcache.StoreStats`), populated
+            only when the sweep ran against an on-disk cache
+            (``cache_dir=`` or a persistent ``compile_cache``). Pool
+            workers' counters are merged in.
         wall_time: End-to-end sweep seconds.
         workers: Pool size used (0 = in-process serial).
     """
@@ -172,6 +227,7 @@ class SweepResult:
     compile_stats: CacheStats
     trace_stats: CacheStats
     stage_stats: CacheStats = field(default_factory=CacheStats)
+    disk_stats: Dict[str, "StoreStats"] = field(default_factory=dict)
     wall_time: float = 0.0
     workers: int = 0
 
@@ -191,21 +247,35 @@ class SweepResult:
         return out
 
     def summary(self) -> str:
-        """One-line cache/throughput description."""
-        return (f"{len(self.results)} cells in {self.wall_time:.2f}s "
+        """Cache/throughput description (one line per storage layer)."""
+        text = (f"{len(self.results)} cells in {self.wall_time:.2f}s "
                 f"(workers={self.workers}): compile cache "
                 f"{self.compile_stats.hits}/{self.compile_stats.lookups} hit, "
                 f"stage cache "
                 f"{self.stage_stats.hits}/{self.stage_stats.lookups} hit, "
                 f"trace cache "
                 f"{self.trace_stats.hits}/{self.trace_stats.lookups} hit")
+        if self.disk_stats:
+            tiers = ", ".join(
+                f"{kind} {stats.describe()}"
+                for kind, stats in sorted(self.disk_stats.items()))
+            text += f"\ndisk store: {tiers}"
+        return text
 
 
 def run_cell(cell: SweepCell, compile_cache: CompileCache,
              trace_cache: TraceCache) -> CellResult:
-    """Execute one cell against the given caches."""
+    """Execute one cell against the given caches.
+
+    Cells carrying a backend see every cache tier through a view
+    scoped by ``Backend.content_id()`` (see
+    :meth:`~repro.runtime.cache.TraceCache.scoped`), so mixed-device
+    grids share the cache *objects* without ever sharing entries
+    across devices.
+    """
     compiled, compile_hit = compile_cache.get_or_compile(
-        cell.circuit, cell.calibration, cell.options)
+        cell.circuit, cell.calibration, cell.options, backend=cell.backend)
+    cell_traces = trace_cache.scoped(cell.backend)
     execution = None
     trace_hit = False
     mitigation = None
@@ -213,7 +283,7 @@ def run_cell(cell: SweepCell, compile_cache: CompileCache,
         hits_before = trace_cache.stats.hits
         execution = execute(compiled, cell.calibration, trials=cell.trials,
                             seed=cell.seed, expected=cell.expected,
-                            engine=cell.engine, trace_cache=trace_cache)
+                            engine=cell.engine, trace_cache=cell_traces)
         trace_hit = trace_cache.stats.hits > hits_before
         if cell.mitigation is not None:
             # Imported here, not at module top: the mitigation package
@@ -227,8 +297,8 @@ def run_cell(cell: SweepCell, compile_cache: CompileCache,
                 baseline=execution, circuit=cell.circuit,
                 options=cell.options, trials=cell.trials, seed=cell.seed,
                 expected=cell.expected, engine=cell.engine,
-                trace_cache=trace_cache,
-                stage_cache=compile_cache.stages,
+                trace_cache=cell_traces,
+                stage_cache=compile_cache.stages_for(cell.backend),
                 tables=compile_cache.tables_for(cell.calibration))
             mitigation = cell.mitigation.mitigate(context)
     return CellResult(key=cell.key, compiled=compiled, execution=execution,
@@ -239,25 +309,72 @@ def run_cell(cell: SweepCell, compile_cache: CompileCache,
 
 def _partition(cells: Sequence[SweepCell], workers: int
                ) -> List[List[Tuple[int, SweepCell]]]:
-    """Split cells into per-worker batches along mapping-prefix groups.
+    """Split cells into per-worker batches along mapping-prefix groups,
+    grouped by machine first.
 
     Whole groups (cells sharing a mapping-prefix key — which includes
     all cells sharing a full compile key) go to one worker, so each
     distinct configuration compiles exactly once somewhere and each
-    distinct mapping is solved exactly once somewhere. Groups are dealt
-    largest-first onto the currently lightest batch (ties broken by
-    batch index), which is deterministic and keeps the per-worker cell
-    counts balanced.
+    distinct mapping is solved exactly once somewhere.
+
+    The dealing unit depends on the grid's machine diversity:
+
+    * **At least as many machines as batches** — whole machines are
+      dealt, largest first, onto the lightest batch. Every worker sees
+      each of its devices exactly once, so the per-calibration
+      :class:`~repro.hardware.ReliabilityTables` memo is built once
+      per device total (the "same grid per device" sweep lands each
+      device on one worker). The granularity tradeoff mirrors the
+      whole-group one: imbalance is bounded by one machine's cell
+      count.
+    * **Fewer machines than batches** — machines must be split for the
+      pool to be used at all, so individual prefix groups are dealt
+      largest-first onto the lightest batch (ties between equally
+      loaded batches prefer one already holding the group's machine,
+      then the lowest index); a device's tables may then be rebuilt by
+      several workers — the price of width. Single-device grids take
+      this path and partition exactly as before the machine axis
+      existed.
+
+    Both regimes are deterministic at any worker count, and hit counts
+    are worker-count-independent either way because groups never split.
     """
-    groups: Dict[PrefixKey, List[Tuple[int, SweepCell]]] = {}
+    groups: Dict[Tuple[str, PrefixKey], List[Tuple[int, SweepCell]]] = {}
+    machine_totals: Dict[str, int] = {}
+    machine_first: Dict[str, int] = {}
     for index, cell in enumerate(cells):
-        groups.setdefault(cell.prefix_key(), []).append((index, cell))
-    ordered = sorted(groups.values(), key=lambda g: (-len(g), g[0][0]))
+        machine = cell.machine_key()
+        groups.setdefault((machine, cell.prefix_key()), []) \
+            .append((index, cell))
+        machine_totals[machine] = machine_totals.get(machine, 0) + 1
+        machine_first.setdefault(machine, index)
+    per_machine: Dict[str, List[List[Tuple[int, SweepCell]]]] = {}
+    for (machine, _prefix), group in groups.items():
+        per_machine.setdefault(machine, []).append(group)
+    machines = sorted(per_machine,
+                      key=lambda m: (-machine_totals[m], machine_first[m]))
     batches: List[List[Tuple[int, SweepCell]]] = \
-        [[] for _ in range(min(workers, len(ordered)))]
-    for group in ordered:
-        lightest = min(range(len(batches)), key=lambda b: (len(batches[b]), b))
-        batches[lightest].extend(group)
+        [[] for _ in range(min(workers, len(groups)))]
+    batch_machines: List[set] = [set() for _ in batches]
+
+    def lightest(machine: str) -> int:
+        return min(range(len(batches)),
+                   key=lambda b: (len(batches[b]),
+                                  machine not in batch_machines[b], b))
+
+    for machine in machines:
+        machine_groups = sorted(per_machine[machine],
+                                key=lambda g: (-len(g), g[0][0]))
+        if len(machines) >= len(batches):
+            target = lightest(machine)
+            for group in machine_groups:
+                batches[target].extend(group)
+            batch_machines[target].add(machine)
+        else:
+            for group in machine_groups:
+                target = lightest(machine)
+                batches[target].extend(group)
+                batch_machines[target].add(machine)
     return [b for b in batches if b]
 
 
@@ -296,7 +413,7 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
             # point imports this module back (lazily) for run_cell.
             from repro.runtime.pool import run_batches
 
-            indexed, compile_stats, trace_stats, stage_stats = \
+            indexed, compile_stats, trace_stats, stage_stats, disk_stats = \
                 run_batches(batches, workers, cache_dir=cache_dir)
             results: List[Optional[CellResult]] = [None] * len(cells)
             for index, result in indexed:
@@ -305,6 +422,7 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
                                compile_stats=compile_stats,
                                trace_stats=trace_stats,
                                stage_stats=stage_stats,
+                               disk_stats=disk_stats,
                                wall_time=time.perf_counter() - start,
                                workers=len(batches))
         # A single compile-key group has no parallelism to exploit:
@@ -315,8 +433,15 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
 
         compile_cache = make_compile_cache(cache_dir)
     trace_cache = trace_cache if trace_cache is not None else TraceCache()
+    # Snapshot-and-diff so a reused persistent cache's cumulative disk
+    # counters don't bleed an earlier sweep's traffic into this result.
+    disk_before = compile_cache.disk_stats()
     results = [run_cell(cell, compile_cache, trace_cache) for cell in cells]
+    disk_stats = {kind: (stats.minus(disk_before[kind])
+                         if kind in disk_before else stats)
+                  for kind, stats in compile_cache.disk_stats().items()}
     return SweepResult(results=results, compile_stats=compile_cache.stats,
                        trace_stats=trace_cache.stats,
                        stage_stats=compile_cache.stages.stats,
+                       disk_stats=disk_stats,
                        wall_time=time.perf_counter() - start, workers=0)

@@ -22,9 +22,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
+from repro.backend.engines import ExecutionEngine, register_engine
 from repro.compiler.compile import CompiledProgram
+from repro.exceptions import SimulationError
 from repro.hardware.calibration import Calibration
 from repro.simulator.noise import NoiseModel
 
@@ -86,3 +88,94 @@ def estimate_success_analytic(program: CompiledProgram,
         decoherence_factor=decoherence_factor,
         readout_factor=readout_factor,
     )
+
+
+#: Above this many classical bits the analytic engine would enumerate
+#: an unreasonably large outcome set; it is meant for small exact-check
+#: runs (the Monte-Carlo engines have no such limit).
+_MAX_ANALYTIC_CBITS = 16
+
+
+@register_engine
+class AnalyticEngine(ExecutionEngine):
+    """Deterministic closed-form "execution" for small exact checks.
+
+    Registered here — not in ``executor.py`` — as the in-tree proof
+    that :func:`~repro.backend.engines.register_engine` admits engines
+    from outside the executor module.
+
+    The engine evaluates :func:`estimate_success_analytic` and renders
+    the prediction as an :class:`~repro.simulator.ExecutionResult`
+    under the simplest failure model consistent with it: with
+    probability ``s`` (the analytic success factor) the run is clean
+    and draws from the ideal distribution; otherwise the output is
+    fully depolarized (uniform over classical strings). Counts are
+    apportioned by largest remainder, so they sum to ``trials``
+    exactly, are reproducible, and are *seed-independent* — the seed
+    is deliberately ignored. Useful to sanity-check a mapping's
+    predicted ranking in microseconds, without sampling noise.
+
+    Declares ``uses_probability_accessors`` (the estimate reads only
+    the accessors) with no fallback: a noise model overriding the
+    per-trial ``sample_*`` hooks gets a once-per-class warning that
+    its custom sampling cannot influence a closed-form estimate.
+    """
+
+    name = "analytic"
+    uses_probability_accessors = True
+    fallback = None
+
+    def run(self, compiled: CompiledProgram, calibration: Calibration,
+            noise: NoiseModel, *, trials: int, seed: int,
+            expected: Optional[str] = None, trace_cache=None):
+        # Imported at call time: the executor imports the engine
+        # registry this class registers into, so a module-level import
+        # back into it would be cyclic.
+        from repro.simulator.executor import (
+            ExecutionResult,
+            _ideal_distribution,
+        )
+        from repro.simulator.trace import CompactProgram
+
+        compact = CompactProgram(compiled.physical.circuit,
+                                 compiled.physical.times,
+                                 topology=calibration.topology)
+        if compact.n_cbits > _MAX_ANALYTIC_CBITS:
+            raise SimulationError(
+                f"the analytic engine enumerates all 2^n classical "
+                f"strings and is limited to n <= {_MAX_ANALYTIC_CBITS} "
+                f"bits (program has {compact.n_cbits}); use a "
+                f"Monte-Carlo engine")
+        ideal = _ideal_distribution(compact)
+        success = estimate_success_analytic(
+            compiled, calibration, noise_model=noise).success
+        uniform = (1.0 - success) / (1 << compact.n_cbits)
+        probabilities: Dict[str, float] = {
+            format(index, f"0{compact.n_cbits}b"): uniform
+            for index in range(1 << compact.n_cbits)}
+        for outcome, p in ideal.items():
+            probabilities[outcome] = probabilities.get(outcome, uniform) \
+                + success * p
+        counts = _largest_remainder_counts(probabilities, trials)
+        return ExecutionResult(counts=counts, trials=trials,
+                               expected=expected, ideal_distribution=ideal)
+
+
+def _largest_remainder_counts(probabilities: Dict[str, float],
+                              trials: int) -> Dict[str, int]:
+    """Deterministic integer apportionment of *trials* shots.
+
+    Floors every share, then hands the remaining shots to the largest
+    fractional parts (ties broken lexicographically), so the counts
+    sum to *trials* and are a pure function of the distribution.
+    """
+    shares = [(outcome, probabilities[outcome] * trials)
+              for outcome in sorted(probabilities)]
+    counts = {outcome: int(share) for outcome, share in shares}
+    remaining = trials - sum(counts.values())
+    for outcome, _ in sorted(shares, key=lambda kv: (-(kv[1] % 1.0), kv[0])):
+        if remaining <= 0:
+            break
+        counts[outcome] += 1
+        remaining -= 1
+    return {outcome: count for outcome, count in counts.items() if count}

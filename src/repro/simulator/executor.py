@@ -7,20 +7,25 @@ from the compiled schedule's start times), and readout bit flips on
 measurement. The fraction of trials returning the benchmark's known
 answer is the measured success rate.
 
-Two engines implement the same sampling law:
+Engines are pluggable strategies registered with
+:func:`repro.backend.engines.register_engine`; :func:`execute` resolves
+its ``engine`` argument through that registry, so new engines (the
+``"analytic"`` estimator in :mod:`repro.simulator.analytic`, future GPU
+statevector backends) register themselves without touching this
+module. The two Monte-Carlo built-ins sample the same law:
 
-* ``engine="batched"`` (default) lowers the program once into a
-  :class:`~repro.simulator.trace.ProgramTrace` and samples all trials
-  with array-level numpy operations (:mod:`repro.simulator.batch`):
-  one Bernoulli matrix for every error site, a single vectorized draw
-  for all error-free trials, and one statevector simulation per
-  *distinct* noisy error plan.
-* ``engine="trial"`` is the legacy per-trial loop, kept for
-  cross-validation (the batched engine is tested to agree with it
-  within a TVD bound) and for exotic :class:`NoiseModel` subclasses
-  that override the sampling methods rather than the probability
-  accessors — :func:`execute` detects such models and falls back to
-  it automatically.
+* ``engine="batched"`` (default, :class:`BatchedEngine`) lowers the
+  program once into a :class:`~repro.simulator.trace.ProgramTrace` and
+  samples all trials with array-level numpy operations
+  (:mod:`repro.simulator.batch`): one Bernoulli matrix for every error
+  site, a single vectorized draw for all error-free trials, and one
+  statevector simulation per *distinct* noisy error plan.
+* ``engine="trial"`` (:class:`TrialEngine`) is the legacy per-trial
+  loop, kept for cross-validation (the batched engine is tested to
+  agree with it within a TVD bound) and for exotic
+  :class:`NoiseModel` subclasses that override the sampling methods
+  rather than the probability accessors — :func:`execute` detects
+  such models and falls back to it automatically.
 
 Trials with no sampled error events short-circuit to a draw from the
 ideal output distribution, which keeps thousand-trial runs fast without
@@ -35,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.backend.engines import ExecutionEngine, get_engine, register_engine
 from repro.compiler.compile import CompiledProgram
 from repro.exceptions import SimulationError
 from repro.hardware.calibration import Calibration
@@ -94,26 +100,47 @@ def _overrides_sampling_hooks(noise: NoiseModel) -> bool:
                for hook in _SAMPLING_HOOKS)
 
 
-#: Noise-model classes already warned about falling back to the trial
-#: engine — the fallback is correct but easy to miss in sweep timings,
-#: so each class is called out once per process.
-_WARNED_FALLBACK_CLASSES: Set[type] = set()
+#: (noise-model class, engine name) pairs already warned about — the
+#: behavior is correct but easy to miss in sweep timings/results, so
+#: each combination is called out once per process.
+_WARNED_FALLBACK_CLASSES: Set[Tuple[type, str]] = set()
 
 
-def _warn_trial_fallback(noise: NoiseModel) -> None:
+def _overridden_hooks(cls: type) -> List[str]:
+    return [hook for hook in _SAMPLING_HOOKS
+            if getattr(cls, hook) is not getattr(NoiseModel, hook)]
+
+
+def _warn_trial_fallback(noise: NoiseModel, engine_name: str) -> None:
     cls = type(noise)
-    if cls in _WARNED_FALLBACK_CLASSES:
+    if (cls, engine_name) in _WARNED_FALLBACK_CLASSES:
         return
-    _WARNED_FALLBACK_CLASSES.add(cls)
-    overridden = [hook for hook in _SAMPLING_HOOKS
-                  if getattr(cls, hook) is not getattr(NoiseModel, hook)]
+    _WARNED_FALLBACK_CLASSES.add((cls, engine_name))
     warnings.warn(
         f"{cls.__name__} overrides the per-trial sampling hook(s) "
-        f"{', '.join(overridden)}; execute(engine='batched') falls back "
-        f"to the slower engine='trial' for it. Subclass via the "
-        f"probability accessors (gate_error_probability / idle_rates / "
+        f"{', '.join(_overridden_hooks(cls))}; "
+        f"execute(engine={engine_name!r}) falls back to the slower "
+        f"engine='trial' for it. Subclass via the probability accessors "
+        f"(gate_error_probability / idle_rates / "
         f"readout_flip_probability) to keep the batched engine, and "
         f"define trace_key() to stay trace-cacheable.",
+        RuntimeWarning, stacklevel=3)
+
+
+def _warn_hooks_ignored(noise: NoiseModel, engine_name: str) -> None:
+    """An accessor-lowering engine with no fallback cannot honor the
+    model's custom sampling — say so once instead of silently dropping
+    it (the analytic engine is the in-tree case)."""
+    cls = type(noise)
+    if (cls, engine_name) in _WARNED_FALLBACK_CLASSES:
+        return
+    _WARNED_FALLBACK_CLASSES.add((cls, engine_name))
+    warnings.warn(
+        f"{cls.__name__} overrides the per-trial sampling hook(s) "
+        f"{', '.join(_overridden_hooks(cls))}, but "
+        f"engine={engine_name!r} derives its error law from the "
+        f"probability accessors only and has no per-trial fallback; "
+        f"the custom sampling is ignored.",
         RuntimeWarning, stacklevel=3)
 
 
@@ -160,6 +187,89 @@ def _classical_string(compact: CompactProgram, bits: Sequence[int]) -> str:
     return "".join(chars)
 
 
+@register_engine
+class BatchedEngine(ExecutionEngine):
+    """Vectorized Monte-Carlo over a lowered :class:`ProgramTrace`.
+
+    Lowers error sites from the noise model's probability accessors
+    (never the per-trial ``sample_*`` hooks — hence the declared
+    fallback) and samples every trial with array-level numpy
+    operations; see :mod:`repro.simulator.batch`.
+    """
+
+    name = "batched"
+    uses_probability_accessors = True
+    fallback = "trial"
+
+    def run(self, compiled: CompiledProgram, calibration: Calibration,
+            noise: NoiseModel, *, trials: int, seed: int,
+            expected: Optional[str] = None,
+            trace_cache=None) -> ExecutionResult:
+        rng = np.random.default_rng(seed)
+        trace = (trace_cache.get(compiled, noise, calibration)
+                 if trace_cache is not None else None)
+        if trace is None:
+            compact = CompactProgram(compiled.physical.circuit,
+                                     compiled.physical.times,
+                                     topology=calibration.topology)
+            trace = ProgramTrace(compact, noise)
+            if trace_cache is not None:
+                trace_cache.put(compiled, noise, calibration, trace)
+        counts = run_batched(trace, trials, rng)
+        return ExecutionResult(counts=counts, trials=trials,
+                               expected=expected,
+                               ideal_distribution=trace.ideal_distribution)
+
+
+@register_engine
+class TrialEngine(ExecutionEngine):
+    """The legacy per-trial Monte-Carlo loop.
+
+    Samples one error plan per trial through the noise model's
+    ``sample_*`` hooks, so it honors subclasses that customize the
+    sampling itself; kept as the cross-validation reference for the
+    batched engine.
+    """
+
+    name = "trial"
+
+    def run(self, compiled: CompiledProgram, calibration: Calibration,
+            noise: NoiseModel, *, trials: int, seed: int,
+            expected: Optional[str] = None,
+            trace_cache=None) -> ExecutionResult:
+        rng = np.random.default_rng(seed)
+        compact = CompactProgram(compiled.physical.circuit,
+                                 compiled.physical.times,
+                                 topology=calibration.topology)
+
+        ideal = _ideal_distribution(compact)
+        ideal_outcomes = sorted(ideal)
+        ideal_probs = np.array([ideal[o] for o in ideal_outcomes])
+        ideal_probs = ideal_probs / ideal_probs.sum()
+
+        counts = {}
+        for _ in range(trials):
+            plan, any_error = _sample_error_plan(compact, noise, rng)
+            if not any_error:
+                outcome = ideal_outcomes[
+                    int(rng.choice(len(ideal_outcomes), p=ideal_probs))]
+            else:
+                state = _run_state(compact, plan)
+                bits = state.sample(rng)
+                outcome = _classical_string(compact, bits)
+            # Readout flips are sampled against the true measured bit so
+            # the calibration's readout asymmetry is honored.
+            chars = list(outcome)
+            for hw, _, cbit in compact.measures:
+                if noise.sample_readout_flip(hw, rng, bit=int(chars[cbit])):
+                    chars[cbit] = "1" if chars[cbit] == "0" else "0"
+            outcome = "".join(chars)
+            counts[outcome] = counts.get(outcome, 0) + 1
+
+        return ExecutionResult(counts=counts, trials=trials,
+                               expected=expected, ideal_distribution=ideal)
+
+
 def execute(compiled: CompiledProgram, calibration: Calibration,
             trials: int = 1024, seed: int = 0,
             expected: Optional[str] = None,
@@ -177,10 +287,16 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
         seed: Master RNG seed; results are reproducible.
         expected: The benchmark's known answer string.
         noise_model: Override the default all-mechanisms model.
-        engine: ``"batched"`` (vectorized, default) or ``"trial"``
-            (legacy per-trial loop); both sample the same law. Noise
-            models overriding the per-trial ``sample_*`` hooks always
-            run on the trial engine.
+        engine: Name of a registered
+            :class:`~repro.backend.engines.ExecutionEngine` —
+            ``"batched"`` (vectorized, default), ``"trial"`` (legacy
+            per-trial loop; samples the same law), ``"analytic"``
+            (deterministic closed-form estimate), or any third-party
+            registration. For noise models overriding the per-trial
+            ``sample_*`` hooks, an accessor-lowering engine reroutes
+            to its declared fallback (``batched`` → ``trial``); an
+            engine without one (``analytic``) runs anyway and warns
+            that the custom sampling is ignored.
         trace_cache: Optional :class:`repro.runtime.cache.TraceCache`
             (or anything with the same ``get``/``put`` signature).
             When given, the batched engine reuses a previously lowered
@@ -193,64 +309,25 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
     """
     if trials < 1:
         raise SimulationError("need at least one trial")
-    if engine not in ("batched", "trial"):
-        raise SimulationError(f"unknown execution engine {engine!r}")
+    resolved = get_engine(engine)
     noise = noise_model or NoiseModel(calibration)
-    if engine == "batched" and _overrides_sampling_hooks(noise):
+    if resolved.uses_probability_accessors \
+            and _overrides_sampling_hooks(noise):
         # A subclass that customizes the per-trial sampling hooks (not
         # just the probability accessors the trace reads) would be
-        # silently ignored by the batched lowering; honor it instead
-        # (and say so once — the per-trial loop is orders of magnitude
-        # slower, which is easy to misattribute in sweep timings).
-        _warn_trial_fallback(noise)
-        engine = "trial"
-    rng = np.random.default_rng(seed)
-
-    if engine == "batched":
-        trace = (trace_cache.get(compiled, noise, calibration)
-                 if trace_cache is not None else None)
-        if trace is None:
-            compact = CompactProgram(compiled.physical.circuit,
-                                     compiled.physical.times,
-                                     topology=calibration.topology)
-            trace = ProgramTrace(compact, noise)
-            if trace_cache is not None:
-                trace_cache.put(compiled, noise, calibration, trace)
-        counts = run_batched(trace, trials, rng)
-        return ExecutionResult(counts=counts, trials=trials,
-                               expected=expected,
-                               ideal_distribution=trace.ideal_distribution)
-
-    compact = CompactProgram(compiled.physical.circuit,
-                             compiled.physical.times,
-                             topology=calibration.topology)
-
-    ideal = _ideal_distribution(compact)
-    ideal_outcomes = sorted(ideal)
-    ideal_probs = np.array([ideal[o] for o in ideal_outcomes])
-    ideal_probs = ideal_probs / ideal_probs.sum()
-
-    counts = {}
-    for _ in range(trials):
-        plan, any_error = _sample_error_plan(compact, noise, rng)
-        if not any_error:
-            outcome = ideal_outcomes[
-                int(rng.choice(len(ideal_outcomes), p=ideal_probs))]
+        # silently ignored by an accessor-lowering engine; honor it
+        # via the declared fallback when there is one (saying so once
+        # — the per-trial loop is orders of magnitude slower, which is
+        # easy to misattribute in sweep timings), and warn that the
+        # hooks are dropped when there isn't.
+        if resolved.fallback:
+            _warn_trial_fallback(noise, resolved.name)
+            resolved = get_engine(resolved.fallback)
         else:
-            state = _run_state(compact, plan)
-            bits = state.sample(rng)
-            outcome = _classical_string(compact, bits)
-        # Readout flips are sampled against the true measured bit so the
-        # calibration's readout asymmetry is honored.
-        chars = list(outcome)
-        for hw, _, cbit in compact.measures:
-            if noise.sample_readout_flip(hw, rng, bit=int(chars[cbit])):
-                chars[cbit] = "1" if chars[cbit] == "0" else "0"
-        outcome = "".join(chars)
-        counts[outcome] = counts.get(outcome, 0) + 1
-
-    return ExecutionResult(counts=counts, trials=trials, expected=expected,
-                           ideal_distribution=ideal)
+            _warn_hooks_ignored(noise, resolved.name)
+    return resolved.run(compiled, calibration, noise, trials=trials,
+                        seed=seed, expected=expected,
+                        trace_cache=trace_cache)
 
 
 def _sample_error_plan(compact: CompactProgram, noise: NoiseModel,

@@ -1,0 +1,363 @@
+"""Backend/engine registry tests: presets, cache isolation, CLI."""
+
+import io
+
+import pytest
+
+from repro.backend import (
+    Backend,
+    ExecutionEngine,
+    get_backend,
+    get_engine,
+    register_backend,
+    register_engine,
+    registered_backends,
+    registered_engines,
+)
+from repro.backend import base as backend_base
+from repro.backend import engines as backend_engines
+from repro.cli import main
+from repro.compiler import CompilerOptions, compile_circuit
+from repro.exceptions import BackendError, SimulationError, TopologyError
+from repro.hardware import GridTopology, device_calibration
+from repro.programs import get_benchmark
+from repro.runtime import SweepCell, TraceCache, run_sweep
+from repro.simulator import estimate_success_analytic, execute
+
+TRIALS = 128
+
+
+@pytest.fixture
+def bv4():
+    return get_benchmark("BV4")
+
+
+def make_device_cells(backends, spec, seeds=(0,), options=None, **kwargs):
+    options = options or CompilerOptions.r_smt_star()
+    return [SweepCell(circuit=spec.build(), backend=backend,
+                      options=options, expected=spec.expected_output,
+                      trials=TRIALS, seed=seed,
+                      key=(backend.name, seed), **kwargs)
+            for backend in backends for seed in seeds]
+
+
+class TestBackendRegistry:
+    def test_at_least_five_presets(self):
+        assert len(registered_backends()) >= 5
+
+    def test_lookup_is_case_insensitive_and_memoized(self):
+        assert get_backend("IBMQ16") is get_backend("ibmq16")
+        assert get_backend("ibmq16").topology.n_qubits == 16
+
+    def test_unknown_backend_suggests(self):
+        with pytest.raises(BackendError, match="did you mean 'ibmq16'"):
+            get_backend("ibmq61")
+        # The registry error still satisfies the legacy device contract.
+        with pytest.raises(TopologyError):
+            get_backend("quantum-toaster")
+
+    def test_content_id_stable_and_distinct(self):
+        a = get_backend("ibmq16")
+        assert a.content_id() == \
+            Backend(name="ibmq16", topology=a.topology).content_id()
+        ids = {get_backend(n).content_id() for n in registered_backends()}
+        assert len(ids) == len(registered_backends())
+        assert a.with_(calibration_seed=7).content_id() != a.content_id()
+
+    def test_calibration_stream_memoized(self):
+        backend = get_backend("falcon27")
+        assert backend.calibration(3) is backend.calibration(3)
+        assert backend.calibration(3).label == "day3"
+        days = list(backend.days(2))
+        assert [c.label for c in days] == ["day0", "day1"]
+
+    def test_third_party_registration_outside_devices_module(self):
+        """Registering a machine touches neither devices.py nor the
+        executor — the whole point of the registry."""
+
+        @register_backend("testlab9")
+        def testlab9():
+            return Backend(name="testlab9",
+                           topology=GridTopology(3, 3, name="TestLab9"),
+                           description="test-only 3x3 machine")
+
+        try:
+            assert "testlab9" in registered_backends()
+            backend = get_backend("testlab9")
+            assert backend.n_qubits == 9
+            # The legacy device entry points see it immediately.
+            from repro.hardware import device_topology
+
+            assert device_topology("testlab9").name == "TestLab9"
+            # And it executes end to end.
+            spec = get_benchmark("BV4")
+            sweep = run_sweep(make_device_cells([backend], spec))
+            assert 0.0 <= sweep.results[0].success_rate <= 1.0
+        finally:
+            backend_base._BACKENDS.pop("testlab9", None)
+            backend_base._INSTANCES.pop("testlab9", None)
+
+    def test_device_calibration_uses_backend_profile(self):
+        """The compat wrapper must honor each preset's own profile."""
+        falcon = device_calibration("falcon27")
+        rueschlikon = device_calibration("ibmq16")
+        assert falcon.mean_cnot_error() < rueschlikon.mean_cnot_error()
+        # Seed override still works and is reflected in the data.
+        assert device_calibration("ibmq16", seed=7).content_id() != \
+            rueschlikon.content_id()
+
+
+class TestEngineRegistry:
+    def test_builtins_registered(self):
+        assert {"batched", "trial", "analytic"} <= set(registered_engines())
+
+    def test_unknown_engine_suggests(self):
+        with pytest.raises(SimulationError, match="did you mean 'batched'"):
+            get_engine("bathced")
+
+    def test_engine_lookup_case_insensitive(self):
+        # Matches the backend registry's case handling.
+        assert get_engine("Batched") is get_engine("batched")
+
+    def test_third_party_engine_runs_without_editing_executor(self, bv4):
+        class ConstantEngine(ExecutionEngine):
+            name = "constant-test"
+
+            def run(self, compiled, calibration, noise, *, trials, seed,
+                    expected=None, trace_cache=None):
+                from repro.simulator import ExecutionResult
+
+                return ExecutionResult(counts={expected: trials},
+                                       trials=trials, expected=expected)
+
+        register_engine(ConstantEngine)
+        try:
+            cal = device_calibration("ibmq16")
+            compiled = compile_circuit(bv4.build(), cal,
+                                       CompilerOptions.r_smt_star())
+            result = execute(compiled, cal, trials=16,
+                             expected=bv4.expected_output,
+                             engine="constant-test")
+            assert result.success_rate == 1.0
+        finally:
+            backend_engines._ENGINES.pop("constant-test", None)
+
+    def test_analytic_engine_matches_estimate(self, bv4):
+        cal = device_calibration("ibmq16")
+        compiled = compile_circuit(bv4.build(), cal,
+                                   CompilerOptions.r_smt_star())
+        a = execute(compiled, cal, trials=4096, seed=0,
+                    expected=bv4.expected_output, engine="analytic")
+        b = execute(compiled, cal, trials=4096, seed=99,
+                    expected=bv4.expected_output, engine="analytic")
+        # Deterministic and seed-independent.
+        assert a.counts == b.counts
+        assert sum(a.counts.values()) == 4096
+        estimate = estimate_success_analytic(compiled, cal).success
+        # success = s * p_ideal(expected) + (1 - s) / 2^n, so it must
+        # sit within the uniform-mass margin of the bare estimate.
+        assert a.success_rate == pytest.approx(estimate, abs=0.05)
+
+    def test_cell_engine_derived_from_backend(self, bv4):
+        backend = get_backend("ibmq16").with_(default_engine="analytic")
+        cell = SweepCell(circuit=bv4.build(), backend=backend,
+                         options=CompilerOptions.r_smt_star(),
+                         expected=bv4.expected_output)
+        assert cell.engine == "analytic"
+        override = SweepCell(circuit=bv4.build(), backend=backend,
+                             options=CompilerOptions.r_smt_star(),
+                             expected=bv4.expected_output, engine="trial")
+        assert override.engine == "trial"
+
+
+class TestCrossDeviceIsolation:
+    def test_distinct_keys_and_zero_cross_hits(self, bv4):
+        """Identical circuit+options on two backends: disjoint compile,
+        stage and trace key spaces — no cache tier may cross-serve."""
+        backends = [get_backend("ibmq16"), get_backend("aspen16")]
+        cells = make_device_cells(backends, bv4)
+        assert cells[0].compile_key() != cells[1].compile_key()
+        assert cells[0].prefix_key() != cells[1].prefix_key()
+        sweep = run_sweep(cells)
+        # One compile, one lowering per device; zero hits anywhere.
+        assert sweep.compile_stats.misses == 2
+        assert sweep.compile_stats.hits == 0
+        assert sweep.trace_stats.hits == 0
+        assert sweep.stage_stats.hits == 0
+
+    def test_same_device_still_shares(self, bv4):
+        backend = get_backend("ibmq16")
+        cells = make_device_cells([backend, backend], bv4, seeds=(0, 1))
+        sweep = run_sweep(cells)
+        assert sweep.compile_stats.misses == 1
+        assert sweep.compile_stats.hits == len(cells) - 1
+        assert sweep.trace_stats.hits == len(cells) - 1
+
+    def test_trace_cache_scoping(self, bv4):
+        """Two backends with *identical* calibrations still occupy
+        disjoint trace-key spaces once scoped."""
+        a = get_backend("ibmq16")
+        b = a.with_(name="ibmq16-prime")
+        cal = a.calibration()
+        compiled = compile_circuit(bv4.build(), cal,
+                                   CompilerOptions.qiskit())
+        cache = TraceCache()
+        execute(compiled, cal, trials=8, seed=0,
+                trace_cache=cache.scoped(a))
+        execute(compiled, cal, trials=8, seed=0,
+                trace_cache=cache.scoped(b))
+        assert cache.stats.hits == 0 and cache.stats.misses == 2
+        assert len(cache) == 2
+
+    def test_mixed_device_grid_parallel_bit_identical(self, bv4):
+        backends = [get_backend(n)
+                    for n in ("ibmq16", "ibmq5", "iontrap8")]
+        cells = make_device_cells(backends, bv4, seeds=(0, 1))
+        serial = run_sweep(cells, workers=0)
+        for workers in (2, 3):
+            parallel = run_sweep(cells, workers=workers)
+            for a, b in zip(serial, parallel):
+                assert a.key == b.key
+                assert a.execution.counts == b.execution.counts
+            assert parallel.compile_stats.hits == serial.compile_stats.hits
+            assert parallel.trace_stats.hits == serial.trace_stats.hits
+
+    def test_partition_clusters_whole_machines(self, bv4):
+        """With at least as many machines as batches, each device's
+        cells land on exactly one worker (shared tables memo)."""
+        from repro.runtime.sweep import _partition
+
+        backends = [get_backend(n)
+                    for n in ("ibmq16", "ibmq5", "iontrap8")]
+        variants = [CompilerOptions.greedy_e(), CompilerOptions.greedy_v()]
+        cells = [cell
+                 for options in variants
+                 for cell in make_device_cells(backends, bv4,
+                                               options=options)]
+        batches = _partition(cells, workers=3)
+        for batch in batches:
+            assert len({cell.machine_key() for _, cell in batch}) == 1
+
+
+class TestPreRefactorIdentity:
+    def test_backend_cell_matches_bare_calibration_cell(self, bv4):
+        """The default ibmq16+batched path is pinned: routing a cell
+        through the backend axis changes no fingerprint and no count."""
+        backend = get_backend("ibmq16")
+        options = CompilerOptions.r_smt_star()
+        with_backend = SweepCell(circuit=bv4.build(), backend=backend,
+                                 options=options,
+                                 expected=bv4.expected_output,
+                                 trials=TRIALS, seed=5, key="b")
+        bare = SweepCell(circuit=bv4.build(),
+                         calibration=device_calibration("ibmq16"),
+                         options=options, expected=bv4.expected_output,
+                         trials=TRIALS, seed=5, key="c")
+        assert with_backend.calibration.content_id() == \
+            bare.calibration.content_id()
+        assert with_backend.engine == bare.engine == "batched"
+        a, b = run_sweep([with_backend]).results[0], \
+            run_sweep([bare]).results[0]
+        assert a.compiled.fingerprint() == b.compiled.fingerprint()
+        assert a.execution.counts == b.execution.counts
+
+    def test_execute_matches_direct_engine_run(self, bv4):
+        """`execute` is a thin dispatcher: going through the registry
+        must be bit-identical to the engine's own run()."""
+        cal = device_calibration("ibmq16")
+        compiled = compile_circuit(bv4.build(), cal,
+                                   CompilerOptions.r_smt_star())
+        via_execute = execute(compiled, cal, trials=TRIALS, seed=3,
+                              expected=bv4.expected_output)
+        from repro.simulator import NoiseModel
+
+        direct = get_engine("batched").run(
+            compiled, cal, NoiseModel(cal), trials=TRIALS, seed=3,
+            expected=bv4.expected_output)
+        assert via_execute.counts == direct.counts
+
+
+class TestBackendCli:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_backends_listing(self):
+        code, text = self.run_cli("backends")
+        assert code == 0
+        for name in ("ibmq16", "ibmq5", "ibmq20", "iontrap8", "falcon27"):
+            assert name in text
+        assert "analytic" in text  # engine roster rides along
+
+    def test_run_on_preset_with_engine(self):
+        code, text = self.run_cli("run", "--benchmark", "BV4",
+                                  "--device", "falcon27",
+                                  "--engine", "analytic",
+                                  "--trials", "64")
+        assert code == 0
+        assert "success rate:" in text
+
+    def test_run_unknown_engine_is_an_error(self):
+        code, _ = self.run_cli("run", "--benchmark", "BV4",
+                               "--engine", "warp-drive",
+                               "--trials", "8")
+        assert code == 1
+
+    def test_multi_device_sweep(self):
+        code, text = self.run_cli(
+            "sweep", "--device", "ibmq16", "ibmq5", "iontrap8",
+            "--benchmarks", "BV4", "--variants", "greedye*",
+            "--trials", "32")
+        assert code == 0
+        for name in ("ibmq16", "ibmq5", "iontrap8"):
+            assert name in text
+        assert text.count("BV4") == 3  # same grid ran once per device
+
+    def test_experiment_accepts_device(self):
+        code, text = self.run_cli("experiment", "fig8",
+                                  "--device", "aspen16")
+        assert code == 0
+        assert "est.reliability" in text
+
+    def test_unknown_device_is_an_error(self):
+        code, _ = self.run_cli("sweep", "--device", "toaster",
+                               "--benchmarks", "BV4")
+        assert code == 1
+
+
+class TestDiskStoreStats:
+    def test_summary_surfaces_per_tier_stats(self, bv4, tmp_path):
+        backend = get_backend("ibmq5")
+        cells = make_device_cells([backend], bv4,
+                                  options=CompilerOptions.greedy_e())
+        first = run_sweep(cells, cache_dir=tmp_path)
+        assert first.disk_stats["compile"].hits == 0
+        assert first.disk_stats["compile"].bytes_written > 0
+        assert "disk store:" in first.summary()
+        second = run_sweep(cells, cache_dir=tmp_path)
+        assert second.disk_stats["compile"].hits == len(
+            {c.compile_key() for c in cells})
+        assert second.disk_stats["compile"].bytes_read > 0
+        assert "hit" in second.summary()
+
+    def test_result_stats_are_snapshots(self, bv4, tmp_path):
+        """Reusing one persistent cache across sweeps must not mutate
+        an earlier result's disk counters."""
+        from repro.runtime import PersistentCompileCache
+
+        cache = PersistentCompileCache(tmp_path)
+        cells = make_device_cells([get_backend("ibmq5")], bv4,
+                                  options=CompilerOptions.greedy_e())
+        first = run_sweep(cells, compile_cache=cache)
+        written_then = first.disk_stats["compile"].bytes_written
+        run_sweep(make_device_cells([get_backend("iontrap8")], bv4,
+                  options=CompilerOptions.greedy_e()),
+                  compile_cache=cache)
+        assert first.disk_stats["compile"].bytes_written == written_then
+
+    def test_in_memory_sweep_has_no_disk_section(self, bv4):
+        sweep = run_sweep(make_device_cells([get_backend("ibmq5")], bv4,
+                          options=CompilerOptions.greedy_e()))
+        assert sweep.disk_stats == {}
+        assert "disk store:" not in sweep.summary()
