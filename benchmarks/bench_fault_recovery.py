@@ -1,0 +1,74 @@
+"""Fault-recovery overhead: a sweep surviving a worker kill vs clean.
+
+The robustness bar for the supervised pool: on a replicated grid, one
+transiently killed worker (the batch is resubmitted to a fresh
+process) must cost less than re-running the whole sweep — recovery
+re-executes only the lost batch's unfinished cells — and the recovered
+sweep's results must be bit-identical to the fault-free run. Smoke
+mode keeps the identity check and drops the perf bar.
+"""
+
+import os
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.programs import get_benchmark
+from repro.runtime import FaultPlan, SweepCell, run_sweep
+
+from conftest import SMOKE, record
+
+SEEDS = (7, 8) if SMOKE else (7, 8, 9, 10)
+TRIALS = 64 if SMOKE else 256
+BENCHMARKS = ("BV4", "Toffoli", "HS2")
+WORKERS = 3
+
+#: Grid index whose first attempt kills its worker: the second cell of
+#: the middle benchmark's batch, so the retry path re-runs a partly
+#: finished batch rather than a fresh one.
+KILLED = len(SEEDS) + 1
+
+
+def build_grid(calibration):
+    options = CompilerOptions.qiskit()
+    cells = []
+    for name in BENCHMARKS:
+        spec = get_benchmark(name)
+        circuit = spec.build()
+        for seed in SEEDS:
+            cells.append(SweepCell(
+                circuit=circuit, calibration=calibration, options=options,
+                expected=spec.expected_output, trials=TRIALS, seed=seed,
+                key=(name, seed)))
+    return cells
+
+
+@pytest.fixture(autouse=True)
+def armed(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "1")
+
+
+def test_transient_kill_recovery(benchmark, calibration):
+    cells = build_grid(calibration)
+    clean = run_sweep(cells, workers=WORKERS)
+    assert clean.ok
+
+    def recover():
+        return run_sweep(cells, workers=WORKERS,
+                         faults=FaultPlan(kill_on={KILLED: 1}))
+
+    if SMOKE:
+        faulted = benchmark.pedantic(recover, rounds=1, iterations=1)
+    else:
+        faulted = benchmark.pedantic(recover, rounds=5, iterations=1)
+    assert faulted.ok
+    for a, b in zip(clean, faulted):
+        assert a.execution.counts == b.execution.counts
+    lines = [f"clean sweep: {clean.summary()}",
+             f"recovered sweep (1 worker killed): {faulted.summary()}"]
+    if not SMOKE:
+        # Recovery re-runs at most one batch; well under a full re-run.
+        assert faulted.wall_time < 2.0 * clean.wall_time + 1.0
+        lines.append(f"overhead: {faulted.wall_time / clean.wall_time:.2f}x "
+                     "of clean wall time")
+    record(benchmark, "\n".join(lines))

@@ -27,6 +27,15 @@ and ``repro run`` takes ``--engine`` (any registered execution
 engine). ``repro run``, ``repro sweep`` and ``repro mitigate`` accept
 ``--cache-dir DIR`` to persist the compile/stage cache on disk, so
 repeated invocations reuse compilations across processes.
+
+``repro sweep`` runs on the fault-tolerant runtime: failed cells are
+reported, not fatal (``--strict`` restores abort-on-first-error with a
+non-zero exit), ``--resume`` skips cells already checkpoint-journaled
+in ``--cache-dir``, and ``--max-retries``/``--batch-timeout`` tune the
+supervised pool's worker-death retry and watchdog policies. Setting
+``REPRO_FAULTS=1`` with a ``REPRO_FAULT_SPEC`` arms the
+fault-injection harness (:mod:`repro.runtime.faults`) for chaos
+drills.
 """
 
 from __future__ import annotations
@@ -185,6 +194,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="readout weight for r-smt* (default: 0.5)")
     sweep_p.add_argument("--workers", type=int, default=0,
                          help="worker processes (0 = in-process serial)")
+    sweep_p.add_argument("--strict", action="store_true",
+                         help="abort on the first failed cell (non-zero "
+                              "exit) instead of reporting partial "
+                              "results plus a failure report")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="skip cells already checkpoint-journaled "
+                              "in --cache-dir (resume an interrupted "
+                              "sweep; bit-identical to an uninterrupted "
+                              "run)")
+    sweep_p.add_argument("--max-retries", type=int, default=2,
+                         help="worker-death retries per cell before the "
+                              "suspect cell is quarantined as failed "
+                              "(default: 2)")
+    sweep_p.add_argument("--batch-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="watchdog: kill and resubmit a worker "
+                              "making no progress for this long "
+                              "(default: disabled)")
     add_cache_dir(sweep_p)
 
     mit_p = sub.add_parser(
@@ -393,7 +420,7 @@ def _cmd_experiment(args: argparse.Namespace, out) -> int:
 
 def _cmd_sweep(args: argparse.Namespace, out) -> int:
     from repro.experiments.common import format_table
-    from repro.runtime import SweepCell, run_sweep
+    from repro.runtime import FaultPlan, SweepCell, run_sweep
 
     backends = []
     for name in args.device:
@@ -418,19 +445,28 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
              for variant in args.variants
              for s in range(args.seeds)]
     sweep = run_sweep(cells, workers=args.workers,
-                      cache_dir=args.cache_dir)
+                      cache_dir=args.cache_dir, strict=args.strict,
+                      resume=args.resume, max_retries=args.max_retries,
+                      batch_timeout=args.batch_timeout,
+                      faults=FaultPlan.from_env())
 
     rows = []
     for result in sweep:
         device, bench, variant, day, seed = result.key
-        rows.append([device, bench, variant, day, seed,
-                     result.success_rate,
-                     result.compiled.swap_count,
-                     f"{result.compiled.duration:.0f}"])
+        if result.ok:
+            rows.append([device, bench, variant, day, seed,
+                         result.success_rate,
+                         result.compiled.swap_count,
+                         f"{result.compiled.duration:.0f}"])
+        else:
+            rows.append([device, bench, variant, day, seed,
+                         "FAILED", "-", "-"])
     out.write(format_table(
         ["device", "benchmark", "variant", "day", "seed", "success",
          "swaps", "duration"], rows) + "\n")
     out.write(sweep.summary() + "\n")
+    if not sweep.ok:
+        out.write(sweep.failure_report() + "\n")
     return 0
 
 

@@ -58,6 +58,29 @@ class SchedulingError(CompilationError):
     """Gate scheduling failed (e.g. coherence deadline violated)."""
 
 
+class SweepError(ReproError):
+    """Sweep-runtime execution failure."""
+
+
+class CellExecutionError(SweepError):
+    """One or more sweep cells failed under ``strict=True``.
+
+    Raised by :func:`repro.runtime.run_sweep` when strict mode is on
+    and the parallel path collected cell failures; the message carries
+    the sweep's failure report (per-cell exception type, message, and
+    captured traceback).
+    """
+
+
+class FaultInjected(ReproError):
+    """An injected fault fired (:mod:`repro.runtime.faults`).
+
+    Only ever raised when the fault-injection harness is armed via the
+    ``REPRO_FAULTS`` environment variable — production sweeps never see
+    this type.
+    """
+
+
 class SimulationError(ReproError):
     """Noisy-executor failure."""
 

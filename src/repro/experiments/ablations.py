@@ -76,7 +76,7 @@ def run_omega_sweep(benchmarks: Sequence[str] = ("BV4", "HS6", "Toffoli"),
                        trials=trials, seed=seed, key=(bench, omega))
              for bench in benchmarks for omega in omegas]
     success: Dict[str, Dict[float, float]] = {b: {} for b in benchmarks}
-    for result in run_sweep(cells, workers=workers):
+    for result in run_sweep(cells, workers=workers, strict=True):
         bench, omega = result.key
         success[bench][omega] = result.success_rate
     return OmegaSweepResult(omegas=list(omegas), success=success)
@@ -173,7 +173,7 @@ def run_convention_ablation(calibration: Optional[Calibration] = None,
                        key=name)
              for name, circuit, expected in all_benchmarks(subset)]
     rows = []
-    for result in run_sweep(cells, workers=workers):
+    for result in run_sweep(cells, workers=workers, strict=True):
         est = result.compiled.reliability
         rows.append((result.key, est.score, est.round_trip_score,
                      result.success_rate))

@@ -177,7 +177,7 @@ def run_benchmark_grid(cells: Sequence[SweepCell], workers: int = 0
         (nested run dict, the raw :class:`~repro.runtime.SweepResult`
         with cache/time stats).
     """
-    sweep = run_sweep(cells, workers=workers)
+    sweep = run_sweep(cells, workers=workers, strict=True)
     runs: Dict[str, Dict[str, BenchmarkRun]] = {}
     for result in sweep:
         bench, label = result.key

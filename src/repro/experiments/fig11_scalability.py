@@ -113,7 +113,7 @@ def run_fig11(smt_qubits: Sequence[int] = DEFAULT_SMT_QUBITS,
                     key=(variant, n_qubits, n_gates)))
 
     points: List[ScalePoint] = []
-    for result in run_sweep(cells, workers=workers):
+    for result in run_sweep(cells, workers=workers, strict=True):
         variant, n_qubits, n_gates = result.key
         truncated = (variant == "r-smt*"
                      and not result.compiled.mapping.optimal)

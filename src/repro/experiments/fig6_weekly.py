@@ -84,7 +84,7 @@ def run_fig6(days: int = 7, trials: int = DEFAULT_TRIALS, seed: int = 7,
 
     success: Dict[str, Dict[str, List[float]]] = {
         b: {c.variant: [] for c in configs} for b in benchmarks}
-    for result in run_sweep(cells, workers=workers):
+    for result in run_sweep(cells, workers=workers, strict=True):
         bench, variant, _day = result.key
         success[bench][variant].append(result.success_rate)
     return Fig6Result(days=days, success=success)

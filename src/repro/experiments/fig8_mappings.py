@@ -81,5 +81,6 @@ def run_fig8(calibration: Optional[Calibration] = None,
                        simulate=False, backend=backend, key=label)
              for label, options in configs]
     compiled = {result.key: result.compiled
-                for result in run_sweep(cells, workers=workers)}
+                for result in run_sweep(cells, workers=workers,
+                                        strict=True)}
     return Fig8Result(compiled=compiled, calibration=cal)

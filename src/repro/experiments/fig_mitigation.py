@@ -164,7 +164,8 @@ def run_mitigation_study(
              for name in benchmarks
              for options in variants
              for strategy in strategies]
-    sweep = run_sweep(cells, workers=workers, cache_dir=cache_dir)
+    sweep = run_sweep(cells, workers=workers, cache_dir=cache_dir,
+                      strict=True)
 
     runs: Dict[str, Dict[str, Dict[str, CellResult]]] = {}
     for result in sweep:

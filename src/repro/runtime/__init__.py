@@ -23,37 +23,48 @@ from repro.runtime.diskcache import (
     DiskStore,
     PersistentCompileCache,
     PersistentStageCache,
+    ResultJournal,
     StoreStats,
     make_compile_cache,
 )
+from repro.runtime.faults import FaultPlan, faults_armed
 from repro.runtime.sweep import (
     DEFAULT_TRIALS,
+    CellFailure,
     CellResult,
     SweepCell,
     SweepResult,
+    cell_fingerprint,
     run_cell,
+    run_cell_guarded,
     run_sweep,
 )
 
 __all__ = [
     "CacheStats",
+    "CellFailure",
     "CellResult",
     "CompileCache",
     "CompileKey",
     "DEFAULT_TRIALS",
     "DiskStore",
+    "FaultPlan",
     "PersistentCompileCache",
     "PersistentStageCache",
     "PrefixKey",
+    "ResultJournal",
     "StageCache",
     "StoreStats",
     "SweepCell",
     "SweepResult",
     "TraceCache",
+    "cell_fingerprint",
     "compile_key",
+    "faults_armed",
     "machine_id",
     "make_compile_cache",
     "mapping_prefix_key",
     "run_cell",
+    "run_cell_guarded",
     "run_sweep",
 ]

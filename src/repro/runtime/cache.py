@@ -201,6 +201,12 @@ class CompileCache:
     (typically the mapping stage) computed for a sibling configuration.
     """
 
+    #: Checkpoint journal of completed cell results
+    #: (:class:`~repro.runtime.diskcache.ResultJournal`); only the
+    #: disk-backed subclass provides one — the sweep runtime journals
+    #: and resumes only when it is non-``None``.
+    journal = None
+
     def __init__(self) -> None:
         self._programs: Dict[CompileKey, CompiledProgram] = {}
         self._tables: Dict[str, ReliabilityTables] = {}

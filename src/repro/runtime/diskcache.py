@@ -36,12 +36,16 @@ import hashlib
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, Optional
 
 import repro
 from repro.runtime.cache import CompileCache, CompileKey, StageCache
+
+#: Consecutive failed writes after which a store flips to memory-only.
+DEGRADE_AFTER = 3
 
 
 @dataclass
@@ -52,12 +56,17 @@ class StoreStats:
     only after the in-memory tier missed, so ``hits`` here are
     compilations served across process boundaries (and ``misses``
     are first-ever computations or integrity-check rejections).
+    ``write_errors`` counts failed publishes (full/read-only disk);
+    ``degraded`` reports the owning store having given up on the
+    filesystem entirely (see :attr:`DiskStore.degraded`).
     """
 
     hits: int = 0
     misses: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    write_errors: int = 0
+    degraded: bool = False
 
     @property
     def lookups(self) -> int:
@@ -69,22 +78,33 @@ class StoreStats:
         self.misses += other.misses
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
+        self.write_errors += other.write_errors
+        self.degraded = self.degraded or other.degraded
 
     def minus(self, baseline: "StoreStats") -> "StoreStats":
         """The traffic since *baseline* (an earlier snapshot of the
         same counter) — how a sweep isolates its own share of a reused
-        cache's cumulative totals."""
+        cache's cumulative totals. ``degraded`` is current state, not
+        traffic, and carries through undiffed."""
         return StoreStats(hits=self.hits - baseline.hits,
                           misses=self.misses - baseline.misses,
                           bytes_read=self.bytes_read - baseline.bytes_read,
                           bytes_written=self.bytes_written
-                          - baseline.bytes_written)
+                          - baseline.bytes_written,
+                          write_errors=self.write_errors
+                          - baseline.write_errors,
+                          degraded=self.degraded)
 
     def describe(self) -> str:
         """Compact ``hits/lookups hit, read/written`` rendering."""
-        return (f"{self.hits}/{self.lookups} hit, "
+        text = (f"{self.hits}/{self.lookups} hit, "
                 f"{_format_bytes(self.bytes_read)} read, "
                 f"{_format_bytes(self.bytes_written)} written")
+        if self.write_errors:
+            text += f", {self.write_errors} write errors"
+        if self.degraded:
+            text += ", DEGRADED (memory-only)"
+        return text
 
 
 def _format_bytes(n: int) -> str:
@@ -132,8 +152,12 @@ class DiskStore:
 
     def __init__(self, root) -> None:
         self.root = Path(root)
-        #: Per-kind (``"compile"``/``"stage"``) disk-tier counters.
+        #: Per-kind (``"compile"``/``"stage"``/``"cell"``) counters.
         self.stats: Dict[str, StoreStats] = {}
+        #: True once repeated write failures flipped the store to
+        #: memory-only mode (reads still work; writes are skipped).
+        self.degraded = False
+        self._consecutive_write_failures = 0
 
     def stats_for(self, kind: str) -> StoreStats:
         stats = self.stats.get(kind)
@@ -144,6 +168,30 @@ class DiskStore:
     def _path(self, kind: str, key: str) -> Path:
         digest = hashlib.sha256(key.encode()).hexdigest()
         return self.root / _layout() / kind / digest[:2] / digest
+
+    def entry_path(self, kind: str, key: str) -> Path:
+        """Where *key*'s entry lives on disk (it may not exist yet).
+
+        Exposed for the fault-injection harness, which corrupts
+        entries in place to prove loads degrade to recomputation.
+        """
+        return self._path(kind, key)
+
+    def _note_write_failure(self, kind: str) -> None:
+        """Account a failed publish; repeatedly failing writes flip
+        the store to memory-only instead of hammering a dead disk on
+        every artifact for the rest of the sweep."""
+        self.stats_for(kind).write_errors += 1
+        self._consecutive_write_failures += 1
+        if (self._consecutive_write_failures >= DEGRADE_AFTER
+                and not self.degraded):
+            self.degraded = True
+            warnings.warn(
+                f"disk store {self.root} degraded to memory-only after "
+                f"{self._consecutive_write_failures} consecutive write "
+                f"failures (disk full or read-only?); compilations stay "
+                f"cached in-process but will not persist",
+                RuntimeWarning, stacklevel=4)
 
     def load(self, kind: str, key: str) -> Optional[object]:
         """The stored object for *key*, or ``None``.
@@ -181,8 +229,14 @@ class DiskStore:
         """Persist *obj* under *key* (atomic publish; errors ignored).
 
         A full disk or an unpicklable artifact degrades to in-memory
-        caching rather than failing the sweep.
+        caching rather than failing the sweep; after
+        :data:`DEGRADE_AFTER` consecutive ``OSError`` publishes the
+        whole store flips to memory-only mode (warn-once
+        ``RuntimeWarning``, surfaced in :class:`StoreStats`) instead of
+        retrying the filesystem on every artifact.
         """
+        if self.degraded:
+            return
         try:
             payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
@@ -207,13 +261,53 @@ class DiskStore:
                     pass
                 raise
         except OSError:
+            self._note_write_failure(kind)
             return
+        self._consecutive_write_failures = 0
         self.stats_for(kind).bytes_written += \
             len(payload) + len(digest) + len(key) + 2
 
 
 def _compile_key_string(key: CompileKey) -> str:
     return "|".join(key)
+
+
+class ResultJournal:
+    """Checkpoint journal of completed sweep-cell results.
+
+    A thin view over a :class:`DiskStore`'s ``"cell"`` kind: completed
+    :class:`~repro.runtime.sweep.CellResult` objects are recorded
+    content-addressed by their cell's fingerprint
+    (:func:`~repro.runtime.sweep.cell_fingerprint`), so
+    ``run_sweep(resume=True)`` can skip already-completed cells after a
+    crash, a worker loss, or Ctrl-C. The store's integrity check makes
+    corrupt entries load as ``None`` — resume then degrades to
+    re-executing the cell, never to trusting a torn write. Failed
+    cells are deliberately not journaled: a resumed sweep re-attempts
+    them.
+    """
+
+    KIND = "cell"
+
+    def __init__(self, store: DiskStore) -> None:
+        self._store = store
+
+    @property
+    def stats(self) -> StoreStats:
+        """The journal's disk-tier counters (hits = resumed cells)."""
+        return self._store.stats_for(self.KIND)
+
+    def load(self, fingerprint: str):
+        """The journaled result for a cell fingerprint, or ``None``."""
+        return self._store.load(self.KIND, fingerprint)
+
+    def record(self, fingerprint: str, result) -> None:
+        """Journal one completed cell (atomic, idempotent)."""
+        self._store.store(self.KIND, fingerprint, result)
+
+    def entry_path(self, fingerprint: str) -> Path:
+        """The entry's on-disk path (fault-injection corruption hook)."""
+        return self._store.entry_path(self.KIND, fingerprint)
 
 
 def make_compile_cache(cache_dir=None) -> CompileCache:
@@ -268,17 +362,19 @@ class PersistentCompileCache(CompileCache):
         super().__init__()
         self._store = DiskStore(root)
         self.stages = PersistentStageCache(self._store)
+        self.journal = ResultJournal(self._store)
 
     def disk_stats(self) -> Dict[str, StoreStats]:
         """Per-kind disk-tier counters of the shared store.
 
-        Returned as a snapshot (copied counters) of the cache's
-        cumulative totals; callers reporting a bounded span (e.g.
+        Returned as a snapshot (copied counters, current ``degraded``
+        state stamped on) of the cache's cumulative totals; callers
+        reporting a bounded span (e.g.
         :func:`~repro.runtime.sweep.run_sweep`, whose result describes
         one sweep) take a snapshot before and after and diff with
         :meth:`StoreStats.minus`.
         """
-        return {kind: replace(stats)
+        return {kind: replace(stats, degraded=self._store.degraded)
                 for kind, stats in self._store.stats.items()}
 
     def _lookup(self, key: CompileKey):

@@ -16,6 +16,15 @@ cells by backend before mapping-prefix so per-device
 :class:`~repro.hardware.ReliabilityTables` memos are shared within a
 worker.
 
+Failures are first-class: an exception inside a cell (or the death of
+the worker running it) is captured as a :class:`CellFailure` on that
+cell's result rather than aborting the grid, so a multi-hour sweep
+returns every surviving cell plus a failure report
+(``strict=True`` restores raise-on-first-error). With a persistent
+store (``cache_dir=``), completed cells are checkpoint-journaled as
+they finish and ``resume=True`` skips them after a crash or Ctrl-C —
+bit-identical to an uninterrupted run by construction.
+
 Three properties the figure harnesses rely on:
 
 * **Determinism** — a cell's result is a pure function of the cell:
@@ -51,13 +60,14 @@ Three properties the figure harnesses rely on:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import traceback as _traceback
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence, \
     Tuple
 
 from repro.backend import DEFAULT_ENGINE, Backend
 from repro.compiler import CompiledProgram, CompilerOptions
-from repro.exceptions import ReproError
+from repro.exceptions import CellExecutionError, ReproError
 from repro.hardware import Calibration
 from repro.ir.circuit import Circuit
 from repro.runtime.cache import (
@@ -67,6 +77,7 @@ from repro.runtime.cache import (
     PrefixKey,
     TraceCache,
     compile_key,
+    machine_id,
     mapping_prefix_key,
 )
 from repro.simulator import ExecutionResult, execute
@@ -167,6 +178,85 @@ class SweepCell:
                                   self.options, self.backend)
 
 
+def cell_fingerprint(cell: SweepCell) -> str:
+    """Content identity of a cell's *result* — the checkpoint-journal
+    key.
+
+    Covers everything a :class:`CellResult` is a pure function of:
+    circuit, machine (backend-scoped calibration), compiler options,
+    expected outcome, trial count, seed, simulate flag, engine, and
+    mitigation strategy. Two cells with equal fingerprints are
+    guaranteed identical results, so a journaled result can stand in
+    for re-execution bit-for-bit. The cell's free-form ``key`` is
+    deliberately excluded — it names the result, it doesn't determine
+    it.
+    """
+    return "|".join((
+        "cell-v1",
+        cell.circuit.fingerprint(),
+        machine_id(cell.calibration, cell.backend),
+        cell.options.fingerprint(),
+        repr(cell.expected),
+        str(cell.trials),
+        str(cell.seed),
+        "sim" if cell.simulate else "compile-only",
+        cell.engine,
+        cell.mitigation.fingerprint() if cell.mitigation is not None
+        else "-",
+    ))
+
+
+@dataclass
+class CellFailure:
+    """Structured record of one cell's failure.
+
+    Captured instead of propagated (unless ``strict``), so a sweep
+    returns every surviving cell plus a report of exactly what failed
+    and why — the degradation contract of the supervised runtime.
+
+    Attributes:
+        key: The failing cell's identifier.
+        index: The cell's grid position.
+        error_type: Exception class name (``"FaultInjected"``,
+            ``"MappingError"``, ...), or a synthetic kind for
+            non-exception deaths (``"WorkerDied"``, ``"WorkerTimeout"``).
+        message: The exception message / death description.
+        traceback: Full formatted traceback (empty for worker deaths —
+            the process took its stack with it).
+        attempts: Execution attempts charged to this cell before it
+            was declared failed (1 for in-cell exceptions, which are
+            deterministic and not retried; up to ``max_retries + 1``
+            for worker deaths).
+        stage: Where the failure was observed: ``"cell"`` (exception
+            inside :func:`run_cell`), ``"worker"`` (the worker process
+            died), or ``"timeout"`` (the watchdog killed a stuck
+            worker).
+    """
+
+    key: Hashable
+    index: int
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+    stage: str = "cell"
+
+    @classmethod
+    def from_exception(cls, index: int, key: Hashable, exc: Exception,
+                       attempts: int = 1) -> "CellFailure":
+        return cls(key=key, index=index, error_type=type(exc).__name__,
+                   message=str(exc),
+                   traceback="".join(_traceback.format_exception(
+                       type(exc), exc, exc.__traceback__)),
+                   attempts=attempts, stage="cell")
+
+    def describe(self) -> str:
+        """One-line rendering for the failure report."""
+        return (f"cell {self.key!r} (grid index {self.index}): "
+                f"{self.error_type}: {self.message} "
+                f"[stage={self.stage}, attempts={self.attempts}]")
+
+
 @dataclass
 class CellResult:
     """Outcome of one sweep cell.
@@ -174,23 +264,41 @@ class CellResult:
     Attributes:
         key: The cell's identifier, copied through.
         compiled: The compiled artifact (possibly shared with other
-            cells via the compile cache).
+            cells via the compile cache); ``None`` when the cell
+            failed before compilation finished.
         execution: Monte-Carlo outcome (``None`` for compile-only cells).
         compile_cache_hit: Whether compilation was served from cache.
         trace_cache_hit: Whether the lowered trace was served from cache.
         mitigation: Outcome of the cell's mitigation strategy, when one
             was set.
+        failure: The cell's failure record, or ``None`` on success —
+            the failed-cell channel of the fault-tolerant runtime.
+        resumed: True when this result was served from the checkpoint
+            journal instead of executed (``run_sweep(resume=True)``).
     """
 
     key: Hashable
-    compiled: CompiledProgram
+    compiled: Optional[CompiledProgram] = None
     execution: Optional[ExecutionResult] = None
     compile_cache_hit: bool = False
     trace_cache_hit: bool = False
     mitigation: Optional["MitigatedResult"] = None
+    failure: Optional[CellFailure] = None
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell completed (its channels are populated)."""
+        return self.failure is None
 
     @property
     def success_rate(self) -> float:
+        if self.failure is not None:
+            raise ReproError(
+                f"cell {self.key!r} failed "
+                f"({self.failure.error_type}: {self.failure.message}); "
+                f"check CellResult.ok / SweepResult.failures before "
+                f"reading outcome channels")
         if self.execution is None:
             raise ReproError(f"cell {self.key!r} was not simulated")
         return self.execution.success_rate
@@ -221,6 +329,8 @@ class SweepResult:
             workers' counters are merged in.
         wall_time: End-to-end sweep seconds.
         workers: Pool size used (0 = in-process serial).
+        resumed: Cells served from the checkpoint journal instead of
+            executed (``resume=True``).
     """
 
     results: List[CellResult]
@@ -230,12 +340,34 @@ class SweepResult:
     disk_stats: Dict[str, "StoreStats"] = field(default_factory=dict)
     wall_time: float = 0.0
     workers: int = 0
+    resumed: int = 0
 
     def __iter__(self):
         return iter(self.results)
 
     def __len__(self) -> int:
         return len(self.results)
+
+    @property
+    def failures(self) -> List[CellFailure]:
+        """Failure records of every failed cell, in grid order."""
+        return [r.failure for r in self.results
+                if r is not None and r.failure is not None]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell completed."""
+        return not self.failures
+
+    def failure_report(self) -> str:
+        """Human-readable report of every failed cell (empty string
+        when the sweep completed cleanly)."""
+        failures = self.failures
+        if not failures:
+            return ""
+        lines = [f"{len(failures)}/{len(self.results)} cells failed:"]
+        lines.extend("  " + failure.describe() for failure in failures)
+        return "\n".join(lines)
 
     def by_key(self) -> Dict[Hashable, CellResult]:
         """Results indexed by cell key (keys must be unique)."""
@@ -248,8 +380,13 @@ class SweepResult:
 
     def summary(self) -> str:
         """Cache/throughput description (one line per storage layer)."""
+        extras = ""
+        if self.failures:
+            extras += f", {len(self.failures)} failed"
+        if self.resumed:
+            extras += f", {self.resumed} resumed"
         text = (f"{len(self.results)} cells in {self.wall_time:.2f}s "
-                f"(workers={self.workers}): compile cache "
+                f"(workers={self.workers}{extras}): compile cache "
                 f"{self.compile_stats.hits}/{self.compile_stats.lookups} hit, "
                 f"stage cache "
                 f"{self.stage_stats.hits}/{self.stage_stats.lookups} hit, "
@@ -307,7 +444,46 @@ def run_cell(cell: SweepCell, compile_cache: CompileCache,
                       mitigation=mitigation)
 
 
-def _partition(cells: Sequence[SweepCell], workers: int
+def run_cell_guarded(index: int, cell: SweepCell,
+                     compile_cache: CompileCache, trace_cache: TraceCache,
+                     faults=None, attempts: int = 0, journal=None,
+                     in_worker: bool = False,
+                     capture: bool = True) -> CellResult:
+    """Execute one cell with failure isolation, journaling, and fault
+    hooks — the supervised runtime's per-cell entry point (both the
+    serial path and every pool worker run cells through it).
+
+    An exception inside the cell is captured as a
+    :class:`CellFailure`-carrying result instead of propagating
+    (``capture=False`` — strict serial mode — restores propagation).
+    In-cell exceptions are deterministic (a cell's result is a pure
+    function of the cell), so they are never retried. Successful
+    results are journaled under the cell's fingerprint when a
+    *journal* is given, before any injected journal corruption fires.
+    ``KeyboardInterrupt`` always propagates: completed cells are
+    already journaled, which is exactly what ``resume=True`` needs.
+    """
+    try:
+        if faults is not None:
+            faults.before_cell(index, attempts=attempts,
+                               in_worker=in_worker)
+        result = run_cell(cell, compile_cache, trace_cache)
+    except Exception as exc:
+        if not capture:
+            raise
+        return CellResult(key=cell.key,
+                          failure=CellFailure.from_exception(
+                              index, cell.key, exc, attempts=attempts + 1))
+    if journal is not None:
+        fingerprint = cell_fingerprint(cell)
+        journal.record(fingerprint, result)
+        if faults is not None:
+            faults.after_journal(index, journal, fingerprint)
+    return result
+
+
+def _partition(cells: Sequence[SweepCell], workers: int,
+               indexes: Optional[Sequence[int]] = None
                ) -> List[List[Tuple[int, SweepCell]]]:
     """Split cells into per-worker batches along mapping-prefix groups,
     grouped by machine first.
@@ -339,10 +515,12 @@ def _partition(cells: Sequence[SweepCell], workers: int
     Both regimes are deterministic at any worker count, and hit counts
     are worker-count-independent either way because groups never split.
     """
+    if indexes is None:
+        indexes = range(len(cells))
     groups: Dict[Tuple[str, PrefixKey], List[Tuple[int, SweepCell]]] = {}
     machine_totals: Dict[str, int] = {}
     machine_first: Dict[str, int] = {}
-    for index, cell in enumerate(cells):
+    for index, cell in zip(indexes, cells):
         machine = cell.machine_key()
         groups.setdefault((machine, cell.prefix_key()), []) \
             .append((index, cell))
@@ -378,70 +556,159 @@ def _partition(cells: Sequence[SweepCell], workers: int
     return [b for b in batches if b]
 
 
+def _merge_disk_stats(into: Dict[str, "StoreStats"],
+                      extra: Dict[str, "StoreStats"]) -> None:
+    for kind, stats in extra.items():
+        if kind in into:
+            into[kind].merge(stats)
+        else:
+            into[kind] = stats
+
+
 def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
               compile_cache: Optional[CompileCache] = None,
               trace_cache: Optional[TraceCache] = None,
-              cache_dir=None) -> SweepResult:
-    """Execute a sweep grid, serially or across a process pool.
+              cache_dir=None, strict: bool = False, resume: bool = False,
+              max_retries: int = 2,
+              batch_timeout: Optional[float] = None,
+              faults=None) -> SweepResult:
+    """Execute a sweep grid, serially or across a supervised process
+    pool, with per-cell failure isolation.
+
+    A failing cell no longer aborts the grid: its exception (or its
+    worker's death) is captured as a :class:`CellFailure` on the
+    cell's result, and the sweep returns every surviving cell plus a
+    failure report (:meth:`SweepResult.failure_report`). Surviving
+    cells are bit-identical to a fault-free run — each cell's result
+    is a pure function of the cell, so isolation, retries, and
+    resubmission cannot perturb them.
 
     Args:
-        cells: The grid. Order is preserved in the result.
+        cells: The grid. Order is preserved in the result. An empty
+            grid returns a well-formed empty result.
         workers: ``0`` or ``1`` runs in-process; ``>= 2`` fans compile-key
-            groups out over that many worker processes.
+            groups out over that many supervised worker processes
+            (worker death and stuck workers are recovered per batch,
+            see :mod:`repro.runtime.pool`).
         compile_cache: Optional shared cache for the in-process path —
             pass one to accumulate compilations across several sweeps
             (e.g. chained experiments on the same snapshot). Workers
             always build their own (in-process object caches don't
-            cross the process boundary), so these arguments apply to
-            the serial path only.
+            cross the process boundary), so this applies to the serial
+            path only — except that a persistent cache's journal also
+            serves ``resume``.
         trace_cache: As above, for lowered traces.
         cache_dir: Optional directory for a persistent compile/stage
             cache (:mod:`repro.runtime.diskcache`): compilations
             survive the process and are shared with other sweeps —
             including pool workers, which each open the same store.
-            Ignored when an explicit ``compile_cache`` is supplied.
+            Also enables the checkpoint journal: every completed cell
+            is recorded as it finishes, so a crashed or interrupted
+            sweep can be resumed. Ignored when an explicit
+            ``compile_cache`` is supplied.
+        strict: Restore raise-on-first-error: the serial path
+            re-raises the failing cell's exception immediately; the
+            parallel path raises
+            :class:`~repro.exceptions.CellExecutionError` carrying the
+            failure report.
+        resume: Serve cells already present in the checkpoint journal
+            (content-addressed by :func:`cell_fingerprint`) instead of
+            re-executing them — bit-identical by construction, since
+            the journal stores the exact result an uninterrupted run
+            would have produced. Requires a persistent store
+            (``cache_dir`` or a persistent ``compile_cache``).
+        max_retries: Worker-death retries charged per cell before the
+            suspect cell is quarantined as failed (parallel path).
+        batch_timeout: Soft seconds-without-progress limit per worker;
+            the watchdog kills and resubmits a worker that exceeds it
+            (``None`` disables).
+        faults: Optional :class:`~repro.runtime.faults.FaultPlan`
+            (inert unless ``REPRO_FAULTS`` is set).
 
     Returns:
         :class:`SweepResult` with per-cell results in input order.
     """
     cells = list(cells)
     start = time.perf_counter()
-    if workers >= 2 and len(cells) > 1:
-        batches = _partition(cells, workers)
+    if not cells:
+        return SweepResult(results=[], compile_stats=CacheStats(),
+                           trace_stats=CacheStats(),
+                           wall_time=time.perf_counter() - start,
+                           workers=0)
+    if compile_cache is None:
+        from repro.runtime.diskcache import make_compile_cache
+
+        compile_cache = make_compile_cache(cache_dir)
+    journal = compile_cache.journal
+    # Snapshot-and-diff so a reused persistent cache's cumulative disk
+    # counters don't bleed an earlier sweep's traffic into this result.
+    # Taken before the resume lookups, so journal hits are visible in
+    # the sweep's disk stats (the "cell" tier pins resume behavior).
+    disk_before = compile_cache.disk_stats()
+
+    todo: List[Tuple[int, SweepCell]] = list(enumerate(cells))
+    results: List[Optional[CellResult]] = [None] * len(cells)
+    resumed = 0
+    if resume:
+        if journal is None:
+            raise ReproError(
+                "resume=True needs the checkpoint journal, which lives "
+                "in the persistent store: pass cache_dir= (or a "
+                "PersistentCompileCache)")
+        remaining: List[Tuple[int, SweepCell]] = []
+        for index, cell in todo:
+            stored = journal.load(cell_fingerprint(cell))
+            if stored is not None:
+                results[index] = replace(stored, resumed=True)
+                resumed += 1
+            else:
+                remaining.append((index, cell))
+        todo = remaining
+
+    def diff_disk() -> Dict[str, "StoreStats"]:
+        return {kind: (stats.minus(disk_before[kind])
+                       if kind in disk_before else stats)
+                for kind, stats in compile_cache.disk_stats().items()}
+
+    def finalize(sweep: SweepResult) -> SweepResult:
+        if strict and sweep.failures:
+            raise CellExecutionError(sweep.failure_report())
+        return sweep
+
+    if workers >= 2 and len(todo) > 1:
+        batches = _partition([cell for _, cell in todo], workers,
+                             indexes=[index for index, _ in todo])
         if len(batches) >= 2:
             # Imported here, not at module top: pool's worker entry
             # point imports this module back (lazily) for run_cell.
             from repro.runtime.pool import run_batches
 
             indexed, compile_stats, trace_stats, stage_stats, disk_stats = \
-                run_batches(batches, workers, cache_dir=cache_dir)
-            results: List[Optional[CellResult]] = [None] * len(cells)
+                run_batches(batches, workers, cache_dir=cache_dir,
+                            faults=faults, max_retries=max_retries,
+                            batch_timeout=batch_timeout)
             for index, result in indexed:
                 results[index] = result
-            return SweepResult(results=results,
-                               compile_stats=compile_stats,
-                               trace_stats=trace_stats,
-                               stage_stats=stage_stats,
-                               disk_stats=disk_stats,
-                               wall_time=time.perf_counter() - start,
-                               workers=len(batches))
+            # The parent's own disk traffic (resume journal lookups)
+            # joins the workers' merged counters.
+            _merge_disk_stats(disk_stats, diff_disk())
+            return finalize(SweepResult(
+                results=results, compile_stats=compile_stats,
+                trace_stats=trace_stats, stage_stats=stage_stats,
+                disk_stats=disk_stats,
+                wall_time=time.perf_counter() - start,
+                workers=len(batches), resumed=resumed))
         # A single compile-key group has no parallelism to exploit:
         # the in-process path below serves it without fork overhead.
 
-    if compile_cache is None:
-        from repro.runtime.diskcache import make_compile_cache
-
-        compile_cache = make_compile_cache(cache_dir)
     trace_cache = trace_cache if trace_cache is not None else TraceCache()
-    # Snapshot-and-diff so a reused persistent cache's cumulative disk
-    # counters don't bleed an earlier sweep's traffic into this result.
-    disk_before = compile_cache.disk_stats()
-    results = [run_cell(cell, compile_cache, trace_cache) for cell in cells]
-    disk_stats = {kind: (stats.minus(disk_before[kind])
-                         if kind in disk_before else stats)
-                  for kind, stats in compile_cache.disk_stats().items()}
-    return SweepResult(results=results, compile_stats=compile_cache.stats,
-                       trace_stats=trace_cache.stats,
-                       stage_stats=compile_cache.stages.stats,
-                       disk_stats=disk_stats,
-                       wall_time=time.perf_counter() - start, workers=0)
+    for index, cell in todo:
+        results[index] = run_cell_guarded(
+            index, cell, compile_cache, trace_cache, faults=faults,
+            journal=journal, capture=not strict)
+    return finalize(SweepResult(
+        results=results, compile_stats=compile_cache.stats,
+        trace_stats=trace_cache.stats,
+        stage_stats=compile_cache.stages.stats, disk_stats=diff_disk(),
+        wall_time=time.perf_counter() - start, workers=0,
+        resumed=resumed))

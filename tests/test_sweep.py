@@ -11,6 +11,7 @@ from repro.hardware import (
     default_ibmq16_calibration,
     ibmq16_topology,
 )
+from repro.ir.circuit import Circuit
 from repro.programs import get_benchmark
 from repro.runtime import (
     CompileCache,
@@ -248,3 +249,72 @@ class TestHarnessParallelism:
         kwargs = dict(days=2, trials=64, benchmarks=("BV4",))
         assert run_fig6(**kwargs).success == \
             run_fig6(workers=2, **kwargs).success
+
+
+class TestDegenerateGrids:
+    def test_empty_grid_returns_well_formed_result(self):
+        sweep = run_sweep([])
+        assert len(sweep) == 0 and list(sweep) == []
+        assert sweep.ok and sweep.failures == []
+        assert sweep.compile_stats.lookups == 0
+        assert sweep.failure_report() == ""
+        assert "0 cells" in sweep.summary()
+
+    def test_empty_grid_with_workers(self):
+        assert len(run_sweep([], workers=4)) == 0
+
+    def test_single_cell_with_wide_pool_runs_serially(self, cal):
+        cells = make_cells(cal, benchmarks=("BV4",), seeds=(0,),
+                           variants=[CompilerOptions.qiskit()])
+        serial = run_sweep(cells)
+        wide = run_sweep(cells, workers=8)
+        assert wide.workers == 0  # one batch -> in-process path
+        assert wide.ok
+        assert wide.results[0].execution.counts == \
+            serial.results[0].execution.counts
+
+
+class TestFailureIsolation:
+    """Organic (non-injected) failures take the same capture path as
+    the fault harness's; see tests/test_faults.py for the chaos suite.
+    """
+
+    def make_oversized_cells(self, cal):
+        # 20 program qubits cannot map onto the 16-qubit machine.
+        too_big = Circuit(20, name="oversized")
+        for q in range(20):
+            too_big.h(q)
+        too_big.cx(0, 19).measure_all()
+        good = get_benchmark("BV4")
+        return [
+            SweepCell(circuit=good.build(), calibration=cal,
+                      options=CompilerOptions.qiskit(),
+                      expected=good.expected_output, trials=TRIALS,
+                      seed=0, key="good-before"),
+            SweepCell(circuit=too_big, calibration=cal,
+                      options=CompilerOptions.qiskit(), trials=TRIALS,
+                      seed=0, key="oversized"),
+            SweepCell(circuit=good.build(), calibration=cal,
+                      options=CompilerOptions.qiskit(),
+                      expected=good.expected_output, trials=TRIALS,
+                      seed=1, key="good-after"),
+        ]
+
+    def test_organic_failure_is_isolated(self, cal):
+        sweep = run_sweep(self.make_oversized_cells(cal))
+        assert [f.key for f in sweep.failures] == ["oversized"]
+        failure = sweep.failures[0]
+        assert failure.stage == "cell" and failure.attempts == 1
+        assert failure.traceback  # full stack captured for debugging
+        assert sweep.results[0].ok and sweep.results[2].ok
+        assert "oversized" in sweep.failure_report()
+
+    def test_organic_failure_strict_raises(self, cal):
+        with pytest.raises(Exception) as excinfo:
+            run_sweep(self.make_oversized_cells(cal), strict=True)
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_failed_cell_success_rate_raises_informatively(self, cal):
+        sweep = run_sweep(self.make_oversized_cells(cal))
+        with pytest.raises(ReproError, match="failed"):
+            sweep.results[1].success_rate
