@@ -1,0 +1,113 @@
+"""Service coalescing: N clients submitting one grid ≈ one client.
+
+The perf bar behind the compile service's admission design: identical
+in-flight submits coalesce onto one execution (and completed ones are
+served from the checkpoint journal), so N concurrent clients
+submitting the *same* grid must cost well under N single-client runs —
+the pinned bar is < 1.5x one client's wall time. Every client must
+still receive results bit-identical to an in-process ``run_sweep``.
+Smoke mode keeps the identity and coalescing checks and drops the
+perf bar.
+"""
+
+import threading
+import time
+
+from repro.compiler import CompilerOptions
+from repro.programs import get_benchmark
+from repro.runtime import SweepCell, run_sweep
+from repro.service import ReproServer, ServerConfig, submit_sweep
+
+from conftest import SMOKE, record
+
+SEEDS = (7,) if SMOKE else (7, 8)
+TRIALS = 64 if SMOKE else 256
+BENCHMARKS = ("BV4", "Toffoli") if SMOKE else ("BV4", "Toffoli", "HS2")
+CLIENTS = 4
+
+
+def build_grid(calibration):
+    options = CompilerOptions.qiskit()
+    cells = []
+    for name in BENCHMARKS:
+        spec = get_benchmark(name)
+        circuit = spec.build()
+        for seed in SEEDS:
+            cells.append(SweepCell(
+                circuit=circuit, calibration=calibration, options=options,
+                expected=spec.expected_output, trials=TRIALS, seed=seed,
+                key=(name, seed)))
+    return cells
+
+
+def served_grid(cells, cache_dir, n_clients):
+    """Wall time of *n_clients* concurrently submitting *cells* to a
+    fresh server, plus every client's results and the server's
+    admission counters."""
+    server = ReproServer(ServerConfig(cache_dir=cache_dir))
+    host, port = server.start()
+    outcomes = {}
+    try:
+        started = time.perf_counter()
+
+        def one_client(tag):
+            outcomes[tag] = submit_sweep(
+                cells, host, port, tenant=f"client-{tag}",
+                deadline=600.0, jitter_seed=tag)
+
+        threads = [threading.Thread(target=one_client, args=(tag,))
+                   for tag in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        health = server.health()
+    finally:
+        server.stop()
+    return elapsed, outcomes, health
+
+
+def test_concurrent_identical_grids_coalesce(benchmark, calibration,
+                                             tmp_path):
+    cells = build_grid(calibration)
+    reference = run_sweep(cells)
+    assert reference.ok
+
+    single_time, single, _ = served_grid(
+        cells, tmp_path / "single", n_clients=1)
+
+    def fan_out():
+        return served_grid(cells, tmp_path / "multi", n_clients=CLIENTS)
+
+    multi_time, outcomes, health = benchmark.pedantic(
+        fan_out, rounds=1, iterations=1)
+
+    # Every client got the full grid, bit-identical to in-process.
+    assert len(outcomes) == CLIENTS
+    by_key = {r.key: r for r in reference}
+    for results in list(outcomes.values()) + list(single.values()):
+        assert len(results) == len(cells)
+        for got in results:
+            assert got.ok
+            assert got.execution.counts == by_key[got.key].execution.counts
+    # The duplicates were absorbed (coalesced in flight, or served from
+    # the journal) rather than each becoming its own execution.
+    assert health["coalesced"] >= 1 or \
+        health["served"] < CLIENTS * len(cells)
+    lines = [f"grid: {len(cells)} cells, {CLIENTS} concurrent clients",
+             f"single client: {single_time:.2f}s, "
+             f"{CLIENTS} clients: {multi_time:.2f}s",
+             f"admission: {health['admitted']} admitted, "
+             f"{health['coalesced']} coalesced, "
+             f"{health['served']} executed"]
+    if not SMOKE:
+        # The pinned coalescing bar: N concurrent clients of one grid
+        # cost less than 1.5x one client (plus a small constant for
+        # thread/transport overhead on tiny grids).
+        assert multi_time < 1.5 * single_time + 1.0, \
+            f"coalescing bar missed: {multi_time:.2f}s vs " \
+            f"{single_time:.2f}s single"
+        lines.append(f"overhead: {multi_time / single_time:.2f}x "
+                     "of single-client wall time")
+    record(benchmark, "\n".join(lines))

@@ -1,8 +1,17 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # The reader of our stdout went away (e.g. `repro ... | head`).
+        # Point stdout at devnull so the interpreter's exit-time flush
+        # doesn't raise a second time, and exit with the conventional
+        # SIGPIPE status instead of a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(128 + 13)

@@ -15,6 +15,13 @@ Entry points (also available as ``python -m repro``):
 * ``repro mitigate``    — compile, execute, and apply an
   error-mitigation strategy (zero-noise extrapolation, readout
   inversion, or a stack), reporting raw vs mitigated success;
+* ``repro serve``       — run the compile service daemon: accepts
+  ``repro submit`` grids over a length-prefixed JSON socket protocol
+  with admission control (bounded queue, per-tenant caps, coalescing),
+  graceful SIGTERM drain, and a ``--health`` probe;
+* ``repro submit``      — submit a sweep grid to a running ``repro
+  serve`` daemon with per-request deadlines, exponential backoff, and
+  idempotent retry — the served counterpart of ``repro sweep``;
 * ``repro backends``    — list the registered machine targets
   (:mod:`repro.backend` presets plus any third-party registrations);
 * ``repro passes``      — list the registered compiler passes and
@@ -64,6 +71,33 @@ _EXPERIMENTS = ("fig1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
                 "fig10", "fig11", "mitigation")
 
 _STRATEGY_CHOICES = ("zne", "readout", "readout+zne")
+
+
+def _nonnegative_int(text: str) -> int:
+    """Argparse type: an int >= 0 (workers, retries, days, seeds)."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type: an int >= 1 (capacities, trials)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type: a float > 0 (timeouts, deadlines, windows)."""
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be positive, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,7 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the study on this registered backend "
                             "instead of the paper's IBMQ16 (ignored by "
                             "the device-independent table2/fig11)")
-    exp_p.add_argument("--workers", type=int, default=0,
+    exp_p.add_argument("--workers", type=_nonnegative_int, default=0,
                        help="sweep worker processes (0 = in-process; "
                             "ignored by fig1/table2)")
 
@@ -192,7 +226,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--trials", type=int, default=1024)
     sweep_p.add_argument("--omega", type=float, default=0.5,
                          help="readout weight for r-smt* (default: 0.5)")
-    sweep_p.add_argument("--workers", type=int, default=0,
+    sweep_p.add_argument("--workers", type=_nonnegative_int,
+                         default=0,
                          help="worker processes (0 = in-process serial)")
     sweep_p.add_argument("--strict", action="store_true",
                          help="abort on the first failed cell (non-zero "
@@ -203,11 +238,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "in --cache-dir (resume an interrupted "
                               "sweep; bit-identical to an uninterrupted "
                               "run)")
-    sweep_p.add_argument("--max-retries", type=int, default=2,
+    sweep_p.add_argument("--max-retries", type=_nonnegative_int,
+                         default=2,
                          help="worker-death retries per cell before the "
                               "suspect cell is quarantined as failed "
                               "(default: 2)")
-    sweep_p.add_argument("--batch-timeout", type=float, default=None,
+    sweep_p.add_argument("--batch-timeout", type=_positive_float,
+                         default=None,
                          metavar="SECONDS",
                          help="watchdog: kill and resubmit a worker "
                               "making no progress for this long "
@@ -252,9 +289,108 @@ def build_parser() -> argparse.ArgumentParser:
                             "through the pipeline (default: trace)")
     mit_p.add_argument("--trials", type=int, default=1024)
     mit_p.add_argument("--seed", type=int, default=7)
-    mit_p.add_argument("--workers", type=int, default=0,
+    mit_p.add_argument("--workers", type=_nonnegative_int, default=0,
                        help="worker processes (0 = in-process serial)")
     add_cache_dir(mit_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the compile service daemon (or probe its health)",
+        description="Start a long-lived compilation-as-a-service "
+                    "daemon: clients submit sweep cells over a "
+                    "length-prefixed JSON socket protocol; admitted "
+                    "cells are batched through the fault-tolerant "
+                    "sweep runtime and each result is streamed back "
+                    "to every client waiting on its fingerprint. "
+                    "Admission control bounds the queue and each "
+                    "tenant's in-flight requests, shedding the excess "
+                    "with Retry-After hints; identical submissions "
+                    "coalesce onto one execution. SIGTERM drains "
+                    "gracefully: in-flight cells finish and are "
+                    "journaled, new work is refused, the process "
+                    "exits 0. With --health, probe a running server "
+                    "and print its health report instead.")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default: loopback; "
+                              "the protocol carries pickled payloads — "
+                              "bind trusted interfaces only)")
+    serve_p.add_argument("--port", type=int, default=7781,
+                         help="TCP port (default: 7781; 0 = OS-picked, "
+                              "announced on stderr)")
+    serve_p.add_argument("--health", action="store_true",
+                         help="query a running server's health and "
+                              "exit (0 healthy, 1 unreachable)")
+    serve_p.add_argument("--workers", type=_nonnegative_int, default=0,
+                         help="sweep pool width per batch (0 = "
+                              "in-process; >= 2 enables supervised "
+                              "worker-death recovery)")
+    serve_p.add_argument("--queue-capacity", type=_positive_int,
+                         default=64, metavar="K",
+                         help="max distinct queued cells before "
+                              "shedding (default: 64)")
+    serve_p.add_argument("--tenant-cap", type=_positive_int, default=16,
+                         metavar="M",
+                         help="max outstanding requests per tenant "
+                              "(default: 16)")
+    serve_p.add_argument("--batch-window", type=_positive_float,
+                         default=0.05, metavar="SECONDS",
+                         help="burst-coalescing window per executor "
+                              "batch (default: 0.05)")
+    serve_p.add_argument("--batch-max", type=_positive_int, default=32,
+                         help="max distinct cells per executor batch "
+                              "(default: 32)")
+    serve_p.add_argument("--max-retries", type=_nonnegative_int,
+                         default=2,
+                         help="worker-death retries per cell "
+                              "(default: 2)")
+    serve_p.add_argument("--batch-timeout", type=_positive_float,
+                         default=None, metavar="SECONDS",
+                         help="watchdog: kill and resubmit a worker "
+                              "making no progress for this long "
+                              "(default: disabled)")
+    add_cache_dir(serve_p)
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit a scenario grid to a running compile service",
+        description="The client side of `repro serve`: build the same "
+                    "(device x benchmark x variant x day x seed) grid "
+                    "as `repro sweep` and submit it cell by cell over "
+                    "the socket protocol, with per-request deadlines, "
+                    "exponential backoff with jitter, idempotent "
+                    "resubmission, and a circuit breaker. Results are "
+                    "bit-identical to running the grid in-process.")
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=int, default=7781)
+    submit_p.add_argument("--tenant", default="cli",
+                          help="admission-control identity "
+                               "(default: cli)")
+    submit_p.add_argument("--deadline", type=_positive_float,
+                          default=None, metavar="SECONDS",
+                          help="per-request wall-clock budget "
+                               "(default: none)")
+    submit_p.add_argument("--max-attempts", type=_positive_int,
+                          default=8,
+                          help="tries per request, first included "
+                               "(default: 8)")
+    submit_p.add_argument("--device", nargs="+", default=["ibmq16"],
+                          metavar="NAME",
+                          help="registered backends — the same grid "
+                               "runs per device (default: ibmq16)")
+    submit_p.add_argument("--calibration-seed", type=int, default=None)
+    submit_p.add_argument("--benchmarks", nargs="+", metavar="NAME",
+                          default=["BV4", "HS6", "Toffoli"],
+                          choices=benchmark_names())
+    submit_p.add_argument("--variants", nargs="+", metavar="VARIANT",
+                          default=["t-smt*", "r-smt*"],
+                          choices=_VARIANT_CHOICES)
+    submit_p.add_argument("--routing", default=None,
+                          choices=("rr", "1bp", "best", "shortest"))
+    submit_p.add_argument("--days", type=_positive_int, default=1)
+    submit_p.add_argument("--seeds", type=_positive_int, default=1)
+    submit_p.add_argument("--seed", type=int, default=7)
+    submit_p.add_argument("--trials", type=_positive_int, default=1024)
+    submit_p.add_argument("--omega", type=float, default=0.5)
 
     sub.add_parser("backends",
                    help="list registered machine targets")
@@ -418,9 +554,12 @@ def _cmd_experiment(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace, out) -> int:
-    from repro.experiments.common import format_table
-    from repro.runtime import FaultPlan, SweepCell, run_sweep
+def _grid_cells(args: argparse.Namespace):
+    """The (device x benchmark x variant x day x seed) grid both
+    ``repro sweep`` (in-process) and ``repro submit`` (served) build —
+    one source of truth, so the bit-identity contract between the two
+    paths is a property of the runtime, not of argument plumbing."""
+    from repro.runtime import SweepCell
 
     backends = []
     for name in args.device:
@@ -431,27 +570,27 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
         backends.append(backend)
     specs = {name: get_benchmark(name) for name in args.benchmarks}
     circuits = {name: spec.build() for name, spec in specs.items()}
-    cells = [SweepCell(circuit=circuits[bench],
-                       backend=backend, day=day,
-                       options=_variant_options(variant, args.omega,
-                                                args.routing),
-                       expected=specs[bench].expected_output,
-                       trials=args.trials, seed=args.seed + s,
-                       key=(backend.name, bench, variant, day,
-                            args.seed + s))
-             for backend in backends
-             for day in range(args.days)
-             for bench in args.benchmarks
-             for variant in args.variants
-             for s in range(args.seeds)]
-    sweep = run_sweep(cells, workers=args.workers,
-                      cache_dir=args.cache_dir, strict=args.strict,
-                      resume=args.resume, max_retries=args.max_retries,
-                      batch_timeout=args.batch_timeout,
-                      faults=FaultPlan.from_env())
+    return [SweepCell(circuit=circuits[bench],
+                      backend=backend, day=day,
+                      options=_variant_options(variant, args.omega,
+                                               args.routing),
+                      expected=specs[bench].expected_output,
+                      trials=args.trials, seed=args.seed + s,
+                      key=(backend.name, bench, variant, day,
+                           args.seed + s))
+            for backend in backends
+            for day in range(args.days)
+            for bench in args.benchmarks
+            for variant in args.variants
+            for s in range(args.seeds)]
+
+
+def _grid_table(results, out) -> None:
+    """Render per-cell grid results (shared by sweep and submit)."""
+    from repro.experiments.common import format_table
 
     rows = []
-    for result in sweep:
+    for result in results:
         device, bench, variant, day, seed = result.key
         if result.ok:
             rows.append([device, bench, variant, day, seed,
@@ -464,9 +603,81 @@ def _cmd_sweep(args: argparse.Namespace, out) -> int:
     out.write(format_table(
         ["device", "benchmark", "variant", "day", "seed", "success",
          "swaps", "duration"], rows) + "\n")
+
+
+def _cmd_sweep(args: argparse.Namespace, out) -> int:
+    from repro.runtime import FaultPlan, run_sweep
+
+    cells = _grid_cells(args)
+    sweep = run_sweep(cells, workers=args.workers,
+                      cache_dir=args.cache_dir, strict=args.strict,
+                      resume=args.resume, max_retries=args.max_retries,
+                      batch_timeout=args.batch_timeout,
+                      faults=FaultPlan.from_env())
+    _grid_table(sweep, out)
     out.write(sweep.summary() + "\n")
     if not sweep.ok:
         out.write(sweep.failure_report() + "\n")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    from repro.runtime import FaultPlan
+    from repro.service import ServerConfig, ServiceClient
+    from repro.service.server import serve
+
+    if args.health:
+        with ServiceClient(args.host, args.port) as client:
+            report = client.health()
+        for field in ("status", "uptime", "queue_depth", "in_flight",
+                      "capacity", "tenant_cap", "served", "resumed",
+                      "failed", "quarantined", "coalesced", "shed",
+                      "degraded", "redeemed", "journal", "workers",
+                      "batches"):
+            out.write(f"{field}: {report.get(field)}\n")
+        return 0 if report.get("status") in ("ok", "draining") else 1
+    config = ServerConfig(
+        host=args.host, port=args.port, cache_dir=args.cache_dir,
+        workers=args.workers, queue_capacity=args.queue_capacity,
+        tenant_cap=args.tenant_cap, batch_window=args.batch_window,
+        batch_max=args.batch_max, max_retries=args.max_retries,
+        batch_timeout=args.batch_timeout)
+
+    def announce(host: str, port: int) -> None:
+        print(f"repro serve: listening on {host}:{port} "
+              f"(queue={args.queue_capacity}, tenant-cap="
+              f"{args.tenant_cap}, workers={args.workers}, journal="
+              f"{'on' if args.cache_dir else 'off'})",
+              file=sys.stderr, flush=True)
+
+    return serve(config, faults=FaultPlan.from_env(), announce=announce)
+
+
+def _cmd_submit(args: argparse.Namespace, out) -> int:
+    from repro.service import RetryPolicy, ServiceClient
+
+    cells = _grid_cells(args)
+    retry = RetryPolicy(max_attempts=args.max_attempts)
+    with ServiceClient(args.host, args.port, tenant=args.tenant,
+                       deadline=args.deadline, retry=retry) as client:
+        results = client.submit_many(cells)
+        stats = dict(client.stats)
+    _grid_table(results, out)
+    failures = [r for r in results if not r.ok]
+    out.write(f"{len(results)} cells served by {args.host}:{args.port} "
+              f"({stats['retries']} retries, {stats['sheds']} sheds, "
+              f"{stats['transport_failures']} transport failures, "
+              f"{stats['coalesced']} coalesced, "
+              f"{stats['journal_hits']} journal hits)\n")
+    if stats["degraded_responses"]:
+        out.write("warning: server reported memory-only cache "
+                  "degradation\n")
+    if failures:
+        out.write(f"{len(failures)}/{len(results)} cells failed "
+                  f"server-side:\n")
+        for result in failures:
+            out.write("  " + result.failure.describe() + "\n")
+        return 1
     return 0
 
 
@@ -577,6 +788,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_sweep(args, out)
         if args.command == "mitigate":
             return _cmd_mitigate(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
+        if args.command == "submit":
+            return _cmd_submit(args, out)
         if args.command == "backends":
             return _cmd_backends(out)
         if args.command == "passes":

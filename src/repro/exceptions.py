@@ -72,6 +72,48 @@ class CellExecutionError(SweepError):
     """
 
 
+class ServiceError(ReproError):
+    """Compile-service (``repro serve``) failure."""
+
+
+class ProtocolError(ServiceError):
+    """Malformed or truncated wire message (:mod:`repro.service.protocol`).
+
+    Raised on oversized frames, invalid JSON payloads, and connections
+    closed mid-message. The client treats it as a transport failure:
+    the request is resubmitted (idempotent by cell fingerprint), never
+    half-trusted.
+    """
+
+
+class ServiceUnavailable(ServiceError):
+    """The service shed the request (structured, retryable).
+
+    Carries the server's ``Retry-After`` hint and shed reason
+    (``"queue-full"``, ``"tenant-cap"``, ``"draining"``). The client's
+    backoff loop honors the hint; this type only escapes to callers
+    once the retry budget or deadline is exhausted.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0,
+                 reason: str = "") -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason
+
+
+class DeadlineExceeded(ServiceError):
+    """A client request ran past its per-request deadline."""
+
+
+class CircuitOpen(ServiceError):
+    """The client's circuit breaker is open.
+
+    Tripped after consecutive transport failures; submissions fail
+    fast (no connection attempt) until the cooldown elapses.
+    """
+
+
 class FaultInjected(ReproError):
     """An injected fault fired (:mod:`repro.runtime.faults`).
 

@@ -257,6 +257,16 @@ class CompileCache:
         """
         return {}
 
+    def redeem(self) -> bool:
+        """Persistent-store degradation recovery probe.
+
+        No disk tier here, so trivially healthy; the disk-backed
+        subclass probes its store (see
+        :meth:`repro.runtime.diskcache.DiskStore.redeem`). Long-lived
+        callers (the compile service) poll this between batches.
+        """
+        return True
+
     def get_or_compile(self, circuit: Circuit, calibration: Calibration,
                        options: CompilerOptions,
                        backend: Optional["Backend"] = None

@@ -58,7 +58,10 @@ class StoreStats:
     are first-ever computations or integrity-check rejections).
     ``write_errors`` counts failed publishes (full/read-only disk);
     ``degraded`` reports the owning store having given up on the
-    filesystem entirely (see :attr:`DiskStore.degraded`).
+    filesystem entirely (see :attr:`DiskStore.degraded`), and
+    ``redeemed`` how many times it *recovered* — a successful
+    :meth:`DiskStore.redeem` probe flipped it back to persistent mode
+    after a transient outage (long-lived servers retry periodically).
     """
 
     hits: int = 0
@@ -67,6 +70,7 @@ class StoreStats:
     bytes_written: int = 0
     write_errors: int = 0
     degraded: bool = False
+    redeemed: int = 0
 
     @property
     def lookups(self) -> int:
@@ -80,12 +84,16 @@ class StoreStats:
         self.bytes_written += other.bytes_written
         self.write_errors += other.write_errors
         self.degraded = self.degraded or other.degraded
+        # Like ``degraded``, redemption is store *state* stamped onto
+        # every tier's snapshot, not per-tier traffic: merging views of
+        # the same store must not multiply-count it.
+        self.redeemed = max(self.redeemed, other.redeemed)
 
     def minus(self, baseline: "StoreStats") -> "StoreStats":
         """The traffic since *baseline* (an earlier snapshot of the
         same counter) — how a sweep isolates its own share of a reused
-        cache's cumulative totals. ``degraded`` is current state, not
-        traffic, and carries through undiffed."""
+        cache's cumulative totals. ``degraded`` and ``redeemed`` are
+        current state, not traffic, and carry through undiffed."""
         return StoreStats(hits=self.hits - baseline.hits,
                           misses=self.misses - baseline.misses,
                           bytes_read=self.bytes_read - baseline.bytes_read,
@@ -93,7 +101,7 @@ class StoreStats:
                           - baseline.bytes_written,
                           write_errors=self.write_errors
                           - baseline.write_errors,
-                          degraded=self.degraded)
+                          degraded=self.degraded, redeemed=self.redeemed)
 
     def describe(self) -> str:
         """Compact ``hits/lookups hit, read/written`` rendering."""
@@ -104,6 +112,8 @@ class StoreStats:
             text += f", {self.write_errors} write errors"
         if self.degraded:
             text += ", DEGRADED (memory-only)"
+        if self.redeemed:
+            text += f", redeemed x{self.redeemed}"
         return text
 
 
@@ -157,6 +167,8 @@ class DiskStore:
         #: True once repeated write failures flipped the store to
         #: memory-only mode (reads still work; writes are skipped).
         self.degraded = False
+        #: Times :meth:`redeem` successfully lifted a degradation.
+        self.redemptions = 0
         self._consecutive_write_failures = 0
 
     def stats_for(self, kind: str) -> StoreStats:
@@ -192,6 +204,47 @@ class DiskStore:
                 f"failures (disk full or read-only?); compilations stay "
                 f"cached in-process but will not persist",
                 RuntimeWarning, stacklevel=4)
+
+    def redeem(self) -> bool:
+        """Attempt to lift a memory-only degradation.
+
+        A degraded store never retries the filesystem on the hot path
+        (every artifact write probing a dead disk is exactly what
+        degradation exists to stop), but a *transient* outage — disk
+        briefly full, NFS blip — would otherwise pin a long-lived
+        server in memory-only mode forever. ``redeem`` is the explicit,
+        cheap recovery probe: one small atomic write. On success the
+        store returns to persistent mode with a fresh failure streak
+        (and the recovery is surfaced as ``redeemed`` in every tier's
+        :class:`StoreStats` snapshot); on failure the store stays
+        degraded, silently — callers poll this at their own cadence
+        (the compile service probes between batches).
+
+        Returns True when the store is persistent again (including
+        when it never degraded).
+        """
+        if not self.degraded:
+            return True
+        probe = self.root / _layout() / "redeem.probe"
+        try:
+            probe.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=probe.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(b"redeem-probe")
+                os.replace(tmp, probe)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self.degraded = False
+        self._consecutive_write_failures = 0
+        self.redemptions += 1
+        return True
 
     def load(self, kind: str, key: str) -> Optional[object]:
         """The stored object for *key*, or ``None``.
@@ -364,6 +417,11 @@ class PersistentCompileCache(CompileCache):
         self.stages = PersistentStageCache(self._store)
         self.journal = ResultJournal(self._store)
 
+    def redeem(self) -> bool:
+        """Probe the shared store out of memory-only degradation
+        (see :meth:`DiskStore.redeem`)."""
+        return self._store.redeem()
+
     def disk_stats(self) -> Dict[str, StoreStats]:
         """Per-kind disk-tier counters of the shared store.
 
@@ -374,7 +432,8 @@ class PersistentCompileCache(CompileCache):
         one sweep) take a snapshot before and after and diff with
         :meth:`StoreStats.minus`.
         """
-        return {kind: replace(stats, degraded=self._store.degraded)
+        return {kind: replace(stats, degraded=self._store.degraded,
+                              redeemed=self._store.redemptions)
                 for kind, stats in self._store.stats.items()}
 
     def _lookup(self, key: CompileKey):

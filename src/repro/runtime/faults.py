@@ -71,6 +71,21 @@ class FaultPlan:
         corrupt_journal: Cell indexes whose checkpoint-journal entry is
             overwritten with garbage right after being written, so
             resume must degrade to re-execution.
+        conn_drop: *Request sequence numbers* (the compile service's
+            arrival order of submit requests, 0-based) whose response
+            is never sent — the connection is closed instead, so the
+            client observes a clean EOF and must resubmit.
+        conn_trunc: Request sequence numbers whose response frame is
+            cut off mid-message (half the bytes, then close) — the
+            client's length-prefixed reader must reject the torn frame
+            as a transport failure, never parse a partial payload.
+        conn_delay: Request sequence number → seconds slept before the
+            response is sent — stalls a response so client-side
+            deadlines and timeouts can be exercised.
+        kill_server_on: Request sequence numbers after whose result is
+            journaled the whole server process dies via ``os._exit`` —
+            the dirty-shutdown drill: a restarted server must resume
+            from the journal and resubmitting clients must converge.
     """
 
     raise_in: Tuple[int, ...] = ()
@@ -79,6 +94,10 @@ class FaultPlan:
     delay_times: int = 1
     interrupt_in: Tuple[int, ...] = ()
     corrupt_journal: Tuple[int, ...] = ()
+    conn_drop: Tuple[int, ...] = ()
+    conn_trunc: Tuple[int, ...] = ()
+    conn_delay: Mapping[int, float] = field(default_factory=dict)
+    kill_server_on: Tuple[int, ...] = ()
 
     @property
     def armed(self) -> bool:
@@ -128,6 +147,34 @@ class FaultPlan:
         except OSError:
             pass  # store already degraded; nothing left to corrupt
 
+    def on_response(self, seq: int) -> Optional[str]:
+        """The connection fault scheduled for submit request *seq*
+        about to be answered, or ``None``.
+
+        Applies any ``conn_delay`` in place (sleeps), then returns
+        ``"drop"`` (close without responding) or ``"trunc"`` (send a
+        torn frame) for the server's response path to enact. Sequence
+        numbers are the service's global submit-arrival order, so a
+        single-client drill observes its faults deterministically.
+        """
+        if not self.armed:
+            return None
+        seconds = self.conn_delay.get(seq)
+        if seconds is not None:
+            time.sleep(seconds)
+        if seq in self.conn_drop:
+            return "drop"
+        if seq in self.conn_trunc:
+            return "trunc"
+        return None
+
+    def maybe_kill_server(self, seq: int) -> None:
+        """Die (``os._exit``) if a kill-server fault is scheduled for
+        submit request *seq* — fired by the server *after* the result
+        is journaled, so a restart can serve it from the checkpoint."""
+        if self.armed and seq in self.kill_server_on:
+            os._exit(KILL_EXIT_CODE)
+
     @classmethod
     def random(cls, seed: int, n_cells: int, raise_rate: float = 0.0,
                kill_rate: float = 0.0, delay_rate: float = 0.0,
@@ -156,10 +203,13 @@ class FaultPlan:
     def from_env(cls) -> Optional["FaultPlan"]:
         """The plan described by ``REPRO_FAULT_SPEC``, or ``None``.
 
-        Spec grammar (comma-separated tokens, indexes are grid
-        positions): ``raise:IDX``, ``kill:IDX`` (first attempt),
+        Spec grammar (comma-separated tokens; cell faults address grid
+        positions, connection faults address submit-request sequence
+        numbers): ``raise:IDX``, ``kill:IDX`` (first attempt),
         ``kill:IDXx3`` (three attempts), ``kill:IDXx*`` (poison),
-        ``delay:IDX=SECONDS``, ``interrupt:IDX``, ``corrupt:IDX``.
+        ``delay:IDX=SECONDS``, ``interrupt:IDX``, ``corrupt:IDX``,
+        ``conn-drop:SEQ``, ``conn-trunc:SEQ``,
+        ``conn-delay:SEQ=SECONDS``, ``kill-server:SEQ``.
         Returns ``None`` when the gate is closed or no spec is set —
         the CLI calls this unconditionally.
         """
@@ -167,8 +217,10 @@ class FaultPlan:
         if not spec or not faults_armed():
             return None
         raise_in, interrupt_in, corrupt = [], [], []
+        conn_drop, conn_trunc, kill_server = [], [], []
         kill_on: Dict[int, Optional[int]] = {}
         delay: Dict[int, float] = {}
+        conn_delay: Dict[int, float] = {}
         for token in spec.split(","):
             kind, _, arg = token.strip().partition(":")
             try:
@@ -178,9 +230,18 @@ class FaultPlan:
                     interrupt_in.append(int(arg))
                 elif kind == "corrupt":
                     corrupt.append(int(arg))
+                elif kind == "conn-drop":
+                    conn_drop.append(int(arg))
+                elif kind == "conn-trunc":
+                    conn_trunc.append(int(arg))
+                elif kind == "kill-server":
+                    kill_server.append(int(arg))
                 elif kind == "delay":
                     index, _, seconds = arg.partition("=")
                     delay[int(index)] = float(seconds)
+                elif kind == "conn-delay":
+                    index, _, seconds = arg.partition("=")
+                    conn_delay[int(index)] = float(seconds)
                 elif kind == "kill":
                     index, _, times = arg.partition("x")
                     kill_on[int(index)] = (None if times == "*"
@@ -192,4 +253,7 @@ class FaultPlan:
                     f"bad {FAULT_SPEC_ENV} token {token!r}: {exc}") from exc
         return cls(raise_in=tuple(raise_in), kill_on=kill_on, delay=delay,
                    interrupt_in=tuple(interrupt_in),
-                   corrupt_journal=tuple(corrupt))
+                   corrupt_journal=tuple(corrupt),
+                   conn_drop=tuple(conn_drop),
+                   conn_trunc=tuple(conn_trunc), conn_delay=conn_delay,
+                   kill_server_on=tuple(kill_server))

@@ -627,7 +627,24 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
 
     Returns:
         :class:`SweepResult` with per-cell results in input order.
+
+    Raises:
+        ValueError: On out-of-range supervision knobs — negative
+            ``workers``, negative ``max_retries``, or a non-positive
+            ``batch_timeout`` — rather than handing the pool an
+            undefined policy.
     """
+    if workers < 0:
+        raise ValueError(
+            f"workers must be >= 0 (0 = in-process serial), got {workers}")
+    if max_retries < 0:
+        raise ValueError(
+            f"max_retries must be >= 0 (0 = quarantine on the first "
+            f"worker death), got {max_retries}")
+    if batch_timeout is not None and batch_timeout <= 0:
+        raise ValueError(
+            f"batch_timeout must be positive seconds (or None to "
+            f"disable the watchdog), got {batch_timeout}")
     cells = list(cells)
     start = time.perf_counter()
     if not cells:

@@ -1,0 +1,65 @@
+"""Compilation-as-a-service: the ``repro serve`` daemon and client.
+
+The sweep runtime made compilation fault-tolerant (supervised workers,
+retry/quarantine, checkpoint/resume); this package makes it
+*long-lived*: a socket daemon that accepts submitted
+:class:`~repro.runtime.SweepCell` requests over a length-prefixed JSON
+protocol and executes them through :func:`~repro.runtime.run_sweep`
+against the shared compile/stage/trace caches and checkpoint journal.
+
+Layers, bottom up:
+
+* :mod:`repro.service.protocol` — wire format: 4-byte length-prefixed
+  JSON envelopes, with cells/results carried as base64 pickle bodies
+  fingerprint-checked on decode.
+* :mod:`repro.service.admission` — the front door: bounded request
+  queue, per-tenant in-flight caps, load shedding with ``Retry-After``
+  hints, and coalescing of identical compile keys across clients.
+* :mod:`repro.service.server` — the daemon: accept loop, per-connection
+  handler threads, a batching executor over ``run_sweep``, graceful
+  drain on SIGTERM, health reporting, and connection-level fault
+  injection hooks.
+* :mod:`repro.service.client` — the caller side: per-request deadlines,
+  exponential backoff with deterministic jitter, idempotent
+  resubmission keyed by cell fingerprint, and a circuit breaker.
+
+The robustness contract the test suite pins: a served sweep — under
+injected worker death, dropped/truncated connections, and server
+restarts — returns results bit-identical to an in-process
+``run_sweep`` of the same cells.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStats,
+)
+from repro.service.client import RetryPolicy, ServiceClient, submit_sweep
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    decode_cell,
+    decode_result,
+    encode_cell,
+    encode_result,
+    recv_message,
+    send_message,
+)
+from repro.service.server import ReproServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStats",
+    "MAX_MESSAGE_BYTES",
+    "ReproServer",
+    "RetryPolicy",
+    "ServerConfig",
+    "ServiceClient",
+    "decode_cell",
+    "decode_result",
+    "encode_cell",
+    "encode_result",
+    "recv_message",
+    "send_message",
+    "submit_sweep",
+]

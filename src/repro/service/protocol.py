@@ -1,0 +1,175 @@
+"""Wire protocol of the compile service.
+
+Every message is one **frame**: a 4-byte big-endian payload length
+followed by a UTF-8 JSON object (the envelope). Framing is the whole
+transport contract — a reader either receives a complete, parseable
+envelope or raises :class:`~repro.exceptions.ProtocolError`; there is
+no state to resynchronize after a torn frame, the connection is simply
+abandoned and the request resubmitted (idempotent by cell
+fingerprint).
+
+Envelopes are small and human-debuggable; the two heavyweight bodies —
+the submitted :class:`~repro.runtime.SweepCell` and the returned
+:class:`~repro.runtime.CellResult` — travel as base64-encoded pickle
+fields inside them. Pickle is already the repo's serialization for
+exactly these objects (the process pool pipes them, the disk store
+persists them); the JSON envelope adds the routing/flow-control fields
+(type, tenant, fingerprint, retry hints) that admission control reads
+without unpickling anything. Two integrity rails guard the pickle
+bodies:
+
+* the envelope's ``fingerprint`` must equal
+  :func:`~repro.runtime.cell_fingerprint` recomputed from the decoded
+  cell — a mismatch (bit rot, version skew between client and server)
+  rejects the request instead of computing a mislabeled result;
+* frames are capped at :data:`MAX_MESSAGE_BYTES`, so a corrupt length
+  prefix cannot make the reader allocate gigabytes.
+
+Trust boundary: pickle executes arbitrary code on load, so the service
+must only listen on trusted interfaces (the default is loopback). This
+matches the repo's existing posture — the disk cache and worker pipes
+make the same assumption.
+
+Client → server envelopes: ``{"type": "submit", "tenant", "fingerprint",
+"cell"}`` and ``{"type": "health"}``. Server → client: ``"result"``,
+``"shed"`` (structured, retryable, with ``retry_after``/``reason``),
+``"error"`` (non-retryable), and ``"health"``.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Optional
+
+from repro.exceptions import ProtocolError
+
+#: Frame size cap. Compiled programs and traces are a few KiB to a few
+#: MiB pickled; anything beyond this is a corrupt length prefix or
+#: abuse, not a legitimate request.
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Send one envelope as a length-prefixed JSON frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"outgoing message of {len(payload)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame cap")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def send_truncated(sock: socket.socket, message: dict) -> None:
+    """Send a deliberately torn frame: the length prefix plus only half
+    the payload. Fault-injection only (``conn-trunc``) — the peer's
+    :func:`recv_message` must reject it as a :class:`ProtocolError`."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(payload)) + payload[:len(payload) // 2])
+
+
+def _recv_exact(sock: socket.socket, n: int,
+                at_frame_start: bool) -> Optional[bytes]:
+    """Read exactly *n* bytes.
+
+    Returns ``None`` on a clean EOF at a frame boundary (the peer hung
+    up between messages — normal connection teardown); raises
+    :class:`ProtocolError` on EOF *inside* a frame (torn message).
+    """
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if at_frame_start and remaining == n:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes "
+                f"received)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+        at_frame_start = False
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[dict]:
+    """Receive one envelope; ``None`` on clean EOF between frames.
+
+    Raises:
+        ProtocolError: Torn frame, oversized frame, non-JSON payload,
+            or a payload that is not an object.
+    """
+    header = _recv_exact(sock, _HEADER.size, at_frame_start=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"incoming frame claims {length} bytes (cap "
+            f"{MAX_MESSAGE_BYTES}); corrupt length prefix?")
+    payload = _recv_exact(sock, length, at_frame_start=False)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame payload is not a typed envelope")
+    return message
+
+
+def _encode_body(obj: object) -> str:
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def _decode_body(text: str, what: str) -> object:
+    try:
+        return pickle.loads(base64.b64decode(text.encode("ascii")))
+    except Exception as exc:
+        raise ProtocolError(f"undecodable {what} body: {exc}") from exc
+
+
+def encode_cell(cell) -> dict:
+    """The ``submit`` envelope fields for one cell (body + fingerprint)."""
+    from repro.runtime.sweep import cell_fingerprint
+
+    return {"fingerprint": cell_fingerprint(cell),
+            "cell": _encode_body(cell)}
+
+
+def decode_cell(envelope: dict):
+    """Decode and verify a submitted cell.
+
+    The envelope's fingerprint is recomputed from the decoded cell;
+    a mismatch means the client and server disagree about what the
+    bytes *mean* (corruption or code-version skew) and the request is
+    rejected rather than mislabeled in the journal.
+    """
+    from repro.runtime.sweep import cell_fingerprint
+
+    claimed = envelope.get("fingerprint")
+    if not claimed:
+        raise ProtocolError("submit envelope lacks a cell fingerprint")
+    cell = _decode_body(envelope.get("cell", ""), "cell")
+    actual = cell_fingerprint(cell)
+    if actual != claimed:
+        raise ProtocolError(
+            f"cell fingerprint mismatch: envelope claims "
+            f"{claimed.split('|')[0]}…, decoded cell is "
+            f"{actual.split('|')[0]}… (client/server version skew?)")
+    return cell
+
+
+def encode_result(result) -> str:
+    """The ``result`` envelope body for one completed cell."""
+    return _encode_body(result)
+
+
+def decode_result(envelope: dict):
+    """Decode a ``result`` envelope's cell-result body."""
+    return _decode_body(envelope.get("result", ""), "result")

@@ -101,6 +101,14 @@ class TestGate:
         assert plan.kill_on == {2: None}
         assert plan.delay == {3: 0.5}
         assert plan.corrupt_journal == (4,)
+        monkeypatch.setenv("REPRO_FAULT_SPEC",
+                           "conn-drop:0,conn-trunc:1,conn-delay:2=0.25,"
+                           "kill-server:3")
+        plan = FaultPlan.from_env()
+        assert plan.conn_drop == (0,)
+        assert plan.conn_trunc == (1,)
+        assert plan.conn_delay == {2: 0.25}
+        assert plan.kill_server_on == (3,)
         monkeypatch.setenv("REPRO_FAULTS", "0")
         assert FaultPlan.from_env() is None
         monkeypatch.setenv("REPRO_FAULTS", "1")
@@ -246,6 +254,35 @@ class TestCheckpointResume:
         assert resumed.resumed == 5  # everything but the quarantined cell
         assert_identical(baseline, resumed)
 
+    def test_resume_reattempts_quarantined_cells(self, cells, baseline,
+                                                 tmp_path):
+        """Failed cells are deliberately not journaled, so a resumed
+        sweep re-attempts exactly them: survivors are served from the
+        journal bit-identically while the poison cell is re-executed
+        (and, with the fault still armed, re-quarantined)."""
+        cache_dir = tmp_path / "store"
+        first = run_sweep(cells, workers=3, max_retries=0,
+                          cache_dir=cache_dir,
+                          faults=FaultPlan(kill_on={3: None}))
+        assert [f.index for f in first.failures] == [3]
+        # Resume with the poison still active: the failed cell is
+        # genuinely re-attempted (a journal miss, then a fresh
+        # quarantine), not served from a stale failure record.
+        again = run_sweep(cells, workers=3, max_retries=0,
+                          cache_dir=cache_dir, resume=True,
+                          faults=FaultPlan(kill_on={3: None}))
+        assert again.resumed == 5
+        assert again.disk_stats["cell"].hits == 5
+        assert [f.index for f in again.failures] == [3]
+        # Only one cell was left to run, so it went down the serial
+        # path, where a kill fault surfaces as a loud FaultInjected.
+        assert again.failures[0].error_type == "FaultInjected"
+        assert_identical(baseline, again, except_indexes={3})
+        # Fault lifted: the third run completes just the poison cell.
+        healed = run_sweep(cells, cache_dir=cache_dir, resume=True)
+        assert healed.ok and healed.resumed == 5
+        assert_identical(baseline, healed)
+
     def test_corrupt_journal_entry_degrades_to_reexecution(
             self, cells, baseline, tmp_path):
         """Acceptance (d): a corrupt journal entry fails the store's
@@ -352,6 +389,51 @@ class TestDiskDegradation:
         store.store("compile", "key", "value")  # succeeds, streak resets
         store._note_write_failure("compile")
         assert not store.degraded
+
+    def test_redeem_recovers_degraded_store(self, tmp_path):
+        """``redeem`` lifts a memory-only degradation once the disk
+        works again — and only then: while the root is still blocked
+        the store stays degraded, silently."""
+        blocker = tmp_path / "store"
+        blocker.write_text("occupied")
+        store = DiskStore(blocker)
+        with pytest.warns(RuntimeWarning, match="memory-only"):
+            for i in range(DEGRADE_AFTER):
+                store.store("compile", f"key-{i}", i)
+        assert store.degraded
+        assert not store.redeem()  # root is still a file
+        assert store.degraded and store.redemptions == 0
+        blocker.unlink()  # the outage clears
+        assert store.redeem()
+        assert not store.degraded and store.redemptions == 1
+        # The recovered store persists again, with a fresh streak.
+        store.store("compile", "after", "value")
+        assert store.load("compile", "after") == "value"
+        assert store.stats_for("compile").write_errors == DEGRADE_AFTER
+
+    def test_redeem_on_healthy_store_is_a_noop(self, tmp_path):
+        store = DiskStore(tmp_path / "store")
+        assert store.redeem()
+        assert store.redemptions == 0
+
+    def test_redemption_surfaces_in_store_stats(self, tmp_path):
+        """The recovery is stamped (like ``degraded``) onto every
+        stats snapshot the persistent cache hands out."""
+        blocker = tmp_path / "store"
+        blocker.write_text("occupied")
+        cache = PersistentCompileCache(blocker)
+        with pytest.warns(RuntimeWarning, match="memory-only"):
+            for i in range(DEGRADE_AFTER):
+                cache._store.store("compile", f"key-{i}", i)
+        assert not cache.redeem()
+        blocker.unlink()
+        assert cache.redeem()
+        stats = cache.disk_stats()["compile"]
+        assert stats.redeemed == 1 and not stats.degraded
+        assert "redeemed x1" in stats.describe()
+        # Snapshot diffs carry the state through undiffed — a span
+        # report after a recovery still shows it.
+        assert stats.minus(replace(stats, hits=0)).redeemed == 1
 
     def test_degraded_store_surfaces_in_sweep_summary(
             self, cal, baseline, tmp_path):
