@@ -20,7 +20,12 @@ Built-ins:
 * ``"trial"`` — the legacy per-trial loop, kept for cross-validation
   and for exotic noise models that override the sampling hooks;
 * ``"analytic"`` — deterministic closed-form success estimate (no
-  sampling; exact-check runs).
+  sampling; exact-check runs);
+* ``"gpu"`` — the batched engine's law on the best available
+  accelerated array backend (cupy, then torch; see
+  :class:`GpuEngine`), with device-memory-aware chunking. Registered
+  here so it exists even before the simulator loads — counts are
+  bit-identical to ``"batched"``, only throughput differs.
 
 This module deliberately imports nothing from the simulator at load
 time (the simulator imports *it* to register the built-ins); lookups
@@ -67,6 +72,12 @@ class ExecutionEngine:
       sampling is honored.
     * :attr:`fallback` — registered engine name to fall back to in that
       case (``None`` = no fallback; the engine runs as-is).
+    * :attr:`accepts_array_backend` — the engine runs its statevector
+      contraction on a pluggable
+      :class:`~repro.simulator.xp.ArrayBackend` and its :meth:`run`
+      takes an ``array_backend=`` keyword; :func:`execute` forwards
+      the caller's selection only to such engines (and warns once when
+      a selection is made against an engine without one).
 
     Engines must be stateless: one shared instance serves every call,
     including concurrent pool workers (determinism comes from the seed
@@ -76,6 +87,7 @@ class ExecutionEngine:
     name: str = ""
     uses_probability_accessors: bool = False
     fallback: Optional[str] = None
+    accepts_array_backend: bool = False
 
     def run(self, compiled, calibration, noise, *, trials: int, seed: int,
             expected: Optional[str] = None, trace_cache=None):
@@ -122,6 +134,74 @@ def register_engine(engine: Union[Type[ExecutionEngine], ExecutionEngine]):
     # Lookup is case-insensitive, matching the backend registry.
     _ENGINES[instance.name.lower()] = instance
     return engine
+
+
+#: Whether the "no accelerated backend" degradation has been announced
+#: (once per process, like the executor's fallback warnings).
+_WARNED_NO_ACCELERATOR = False
+
+
+def _warn_no_accelerator() -> None:
+    global _WARNED_NO_ACCELERATOR
+    if _WARNED_NO_ACCELERATOR:
+        return
+    _WARNED_NO_ACCELERATOR = True
+    import warnings
+
+    warnings.warn(
+        "engine='gpu' found no accelerated array backend (cupy/torch "
+        "not importable); running the batched contraction on numpy. "
+        "Counts are bit-identical — install torch or cupy for the "
+        "speedup.", RuntimeWarning, stacklevel=4)
+
+
+@register_engine
+class GpuEngine(ExecutionEngine):
+    """The batched trajectory engine on an accelerated array backend.
+
+    Picks the best available non-numpy
+    :class:`~repro.simulator.xp.ArrayBackend` (cupy first, then torch
+    — torch still buys multi-threaded CPU contraction without a GPU)
+    unless the caller selects one explicitly, and delegates to the
+    registered ``"batched"`` engine: same trace lowering, same host-RNG
+    sampling law, so counts are **bit-identical** to
+    ``engine="batched"`` for every seed. Chunking follows the chosen
+    backend's device-memory-aware
+    :meth:`~repro.simulator.xp.ArrayBackend.amplitude_budget` instead
+    of the host constant. With neither cupy nor torch installed it
+    warns once and degrades to numpy — a correctness no-op.
+
+    Lives here (not in the simulator) as the registry's second
+    in-tree proof that engines plug in without touching
+    ``executor.py``; all simulator imports happen inside :meth:`run`.
+    """
+
+    name = "gpu"
+    uses_probability_accessors = True
+    fallback = "trial"
+    accepts_array_backend = True
+
+    def run(self, compiled, calibration, noise, *, trials: int, seed: int,
+            expected: Optional[str] = None, trace_cache=None,
+            array_backend=None):
+        # Lazy imports keep this module free of simulator dependencies
+        # at load time (it is imported *by* the simulator).
+        from repro.simulator.xp import (
+            best_accelerated_backend,
+            resolve_array_backend,
+        )
+
+        if array_backend is None:
+            backend = best_accelerated_backend()
+            if backend is None:
+                _warn_no_accelerator()
+                backend = resolve_array_backend("numpy")
+        else:
+            backend = resolve_array_backend(array_backend)
+        return get_engine("batched").run(
+            compiled, calibration, noise, trials=trials, seed=seed,
+            expected=expected, trace_cache=trace_cache,
+            array_backend=backend)
 
 
 def _ensure_builtin_engines() -> None:

@@ -48,6 +48,7 @@ drills.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -152,6 +153,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist the compile/stage cache in this "
                             "directory (reused across invocations)")
 
+    def add_array_backend_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--array-backend", default=None, metavar="NAME",
+                       help="array backend for the statevector "
+                            "contraction (numpy/torch/cupy; see `repro "
+                            "engines`). Counts are bit-identical across "
+                            "backends; unavailable ones warn and fall "
+                            "back to numpy")
+        p.add_argument("--chunk-mib", type=_positive_int, default=None,
+                       metavar="MIB",
+                       help="cap the per-chunk statevector buffer at "
+                            "this many MiB of complex128 (sets "
+                            "REPRO_CHUNK_MIB; default: 64 MiB on host "
+                            "backends, a fraction of free device memory "
+                            "on CUDA). Results are chunk-invariant")
+
     run_p = sub.add_parser("run", help="compile and simulate")
     add_machine_args(run_p)
     add_compile_args(run_p)
@@ -160,10 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--engine", default=None,
                        help="execution engine (default: the backend's "
                             "own; registered: batched, trial, analytic, "
-                            "plus third-party registrations)")
+                            "gpu, plus third-party registrations)")
     run_p.add_argument("--expected", default=None,
                        help="expected outcome string (default: the "
                             "benchmark's registered answer)")
+    add_array_backend_args(run_p)
     add_cache_dir(run_p)
 
     cal_p = sub.add_parser("calibration", help="print calibration data")
@@ -184,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--workers", type=_nonnegative_int, default=0,
                        help="sweep worker processes (0 = in-process; "
                             "ignored by fig1/table2)")
+    add_array_backend_args(exp_p)
 
     sweep_p = sub.add_parser(
         "sweep",
@@ -249,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="watchdog: kill and resubmit a worker "
                               "making no progress for this long "
                               "(default: disabled)")
+    add_array_backend_args(sweep_p)
     add_cache_dir(sweep_p)
 
     mit_p = sub.add_parser(
@@ -395,6 +414,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("backends",
                    help="list registered machine targets")
 
+    sub.add_parser("engines",
+                   help="list execution engines and array backends")
+
     sub.add_parser("passes",
                    help="list registered compiler passes and variants")
 
@@ -466,6 +488,25 @@ def _compile_cache(args: argparse.Namespace):
     return make_compile_cache(getattr(args, "cache_dir", None))
 
 
+def _array_backend_setup(args: argparse.Namespace) -> Optional[str]:
+    """Apply ``--chunk-mib``/``--array-backend`` and return the
+    validated array-backend name (``None`` when unset).
+
+    An unknown backend name fails in milliseconds (did-you-mean), not
+    after the SMT solve; an unavailable one warns here — once per
+    process — and the run proceeds on numpy with identical counts.
+    """
+    from repro.simulator import resolve_array_backend
+
+    chunk_mib = getattr(args, "chunk_mib", None)
+    if chunk_mib is not None:
+        os.environ["REPRO_CHUNK_MIB"] = str(chunk_mib)
+    name = getattr(args, "array_backend", None)
+    if name is not None:
+        resolve_array_backend(name)
+    return name
+
+
 def _cmd_run(args: argparse.Namespace, out) -> int:
     from repro.backend import get_engine
 
@@ -475,6 +516,7 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     # in milliseconds, not after the SMT solve.
     engine = args.engine or backend.default_engine
     get_engine(engine)
+    array_backend = _array_backend_setup(args)
     if args.calibration_seed is not None:
         backend = backend.with_(calibration_seed=args.calibration_seed)
     calibration = backend.calibration(args.day)
@@ -484,7 +526,8 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         print("compilation served from cache", file=sys.stderr)
     expected = args.expected or registered_answer
     result = execute(program, calibration, trials=args.trials,
-                     seed=args.seed, expected=expected, engine=engine)
+                     seed=args.seed, expected=expected, engine=engine,
+                     array_backend=array_backend)
     out.write(program.summary() + "\n")
     if expected is not None:
         out.write(f"success rate: {result.success_rate:.4f} "
@@ -516,7 +559,12 @@ def _cmd_calibration(args: argparse.Namespace, out) -> int:
 
 def _cmd_experiment(args: argparse.Namespace, out) -> int:
     from repro import experiments
+    from repro.simulator import set_default_array_backend
 
+    # The harnesses build their own sweeps internally, so the selection
+    # travels as the process-wide default (inherited by fork-spawned
+    # pool workers) instead of per-harness plumbing.
+    set_default_array_backend(_array_backend_setup(args))
     name = args.name
     workers = args.workers
     device = args.device
@@ -570,12 +618,17 @@ def _grid_cells(args: argparse.Namespace):
         backends.append(backend)
     specs = {name: get_benchmark(name) for name in args.benchmarks}
     circuits = {name: spec.build() for name, spec in specs.items()}
+    # `repro submit` has no --array-backend (the server picks its own
+    # arrays), hence the getattr; either way the choice stays out of
+    # cell fingerprints, so journals are shared across backends.
+    array_backend = getattr(args, "array_backend", None)
     return [SweepCell(circuit=circuits[bench],
                       backend=backend, day=day,
                       options=_variant_options(variant, args.omega,
                                                args.routing),
                       expected=specs[bench].expected_output,
                       trials=args.trials, seed=args.seed + s,
+                      array_backend=array_backend,
                       key=(backend.name, bench, variant, day,
                            args.seed + s))
             for backend in backends
@@ -608,6 +661,7 @@ def _grid_table(results, out) -> None:
 def _cmd_sweep(args: argparse.Namespace, out) -> int:
     from repro.runtime import FaultPlan, run_sweep
 
+    _array_backend_setup(args)
     cells = _grid_cells(args)
     sweep = run_sweep(cells, workers=args.workers,
                       cache_dir=args.cache_dir, strict=args.strict,
@@ -738,6 +792,25 @@ def _cmd_backends(out) -> int:
     return 0
 
 
+def _cmd_engines(out) -> int:
+    from repro.backend import get_engine
+    from repro.simulator import array_backend_status
+
+    out.write("registered execution engines:\n")
+    for name in registered_engines():
+        engine = get_engine(name)
+        doc = (type(engine).__doc__ or "").strip()
+        first_line = doc.splitlines()[0] if doc else ""
+        arrays = " [array-backend aware]" if engine.accepts_array_backend \
+            else ""
+        out.write(f"  {name:10s} {first_line}{arrays}\n")
+    out.write("\narray backends (statevector contraction; counts are "
+              "bit-identical across them):\n")
+    for name, status in array_backend_status().items():
+        out.write(f"  {name:10s} {status}\n")
+    return 0
+
+
 def _cmd_passes(out) -> int:
     from repro.compiler import (
         make_pass,
@@ -794,6 +867,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             return _cmd_submit(args, out)
         if args.command == "backends":
             return _cmd_backends(out)
+        if args.command == "engines":
+            return _cmd_engines(out)
         if args.command == "passes":
             return _cmd_passes(out)
         return _cmd_benchmarks(out)

@@ -128,6 +128,7 @@ def compile_and_run(circuit: Circuit, expected: str,
                     trials: int = DEFAULT_TRIALS, seed: int = 7,
                     simulate: bool = True,
                     engine: Optional[str] = None,
+                    array_backend: Optional[str] = None,
                     compile_cache: Optional[CompileCache] = None,
                     trace_cache: Optional[TraceCache] = None,
                     backend: BackendLike = None) -> BenchmarkRun:
@@ -142,6 +143,8 @@ def compile_and_run(circuit: Circuit, expected: str,
     repeated single-cell calls. ``backend=`` (name or
     :class:`~repro.backend.Backend`) supplies the machine axis;
     ``calibration`` may then be ``None`` to use its day-0 snapshot.
+    ``array_backend=`` selects the statevector array backend (``None``
+    = the process default); counts never depend on it.
     """
     resolved = resolve_backend(backend)
     if calibration is None and resolved is not None:
@@ -157,6 +160,7 @@ def compile_and_run(circuit: Circuit, expected: str,
     cell = SweepCell(circuit=circuit, calibration=calibration,
                      options=options, expected=expected, trials=trials,
                      seed=seed, simulate=simulate, engine=engine,
+                     array_backend=array_backend,
                      backend=resolved, key=circuit.name)
     result = run_cell(cell, compile_cache,
                       trace_cache if trace_cache is not None

@@ -114,6 +114,16 @@ class SweepCell:
             :class:`~repro.backend.engines.ExecutionEngine`). Defaults
             to the backend's ``default_engine``, or ``"batched"``
             without a backend.
+        array_backend: Optional registered
+            :class:`~repro.simulator.xp.ArrayBackend` name for the
+            statevector contraction (``"numpy"``/``"torch"``/
+            ``"cupy"``; ``None`` = the process default). Counts are
+            bit-identical across array backends — which is why no
+            cache key or fingerprint includes it (see
+            :func:`cell_fingerprint`): sweeps varying only
+            ``array_backend`` share every compile/trace/journal
+            artifact. An unavailable backend warns once and runs on
+            numpy.
         mitigation: Optional error-mitigation strategy
             (:mod:`repro.mitigation`) applied on top of the baseline
             execution. The strategy's extra executions (noise-scaled
@@ -139,6 +149,7 @@ class SweepCell:
     seed: int = 7
     simulate: bool = True
     engine: Optional[str] = None
+    array_backend: Optional[str] = None
     mitigation: Optional["MitigationStrategy"] = None
     backend: Optional[Backend] = None
     day: int = 0
@@ -189,7 +200,11 @@ def cell_fingerprint(cell: SweepCell) -> str:
     guaranteed identical results, so a journaled result can stand in
     for re-execution bit-for-bit. The cell's free-form ``key`` is
     deliberately excluded — it names the result, it doesn't determine
-    it.
+    it. ``array_backend`` is excluded too, for the same reason
+    ``Backend.content_id()`` excludes ``default_engine``: counts are
+    bit-identical across array backends (host RNG, device-independent
+    law), so a result journaled under numpy legitimately serves a
+    torch re-run — and resumed sweeps stay backend-agnostic.
     """
     return "|".join((
         "cell-v1",
@@ -420,7 +435,8 @@ def run_cell(cell: SweepCell, compile_cache: CompileCache,
         hits_before = trace_cache.stats.hits
         execution = execute(compiled, cell.calibration, trials=cell.trials,
                             seed=cell.seed, expected=cell.expected,
-                            engine=cell.engine, trace_cache=cell_traces)
+                            engine=cell.engine, trace_cache=cell_traces,
+                            array_backend=cell.array_backend)
         trace_hit = trace_cache.stats.hits > hits_before
         if cell.mitigation is not None:
             # Imported here, not at module top: the mitigation package

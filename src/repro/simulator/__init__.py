@@ -3,11 +3,27 @@
 Execution is Monte-Carlo over stochastic Pauli errors. Two engines
 sample the same law: the default vectorized batched engine
 (:mod:`repro.simulator.trace` + :mod:`repro.simulator.batch`) and the
-legacy per-trial loop (``execute(..., engine="trial")``).
+legacy per-trial loop (``execute(..., engine="trial")``). The batched
+engine's statevector contraction runs on a pluggable array backend
+(:mod:`repro.simulator.xp`: numpy always, torch/cupy when installed)
+with host-side RNG, so counts are bit-identical across backends;
+``execute(engine="gpu")`` picks the best accelerated one.
 """
 
 from repro.simulator.analytic import AnalyticEstimate, estimate_success_analytic
 from repro.simulator.batch import run_batched
+from repro.simulator.xp import (
+    ArrayBackend,
+    array_backend_available,
+    array_backend_status,
+    best_accelerated_backend,
+    default_array_backend,
+    get_array_backend,
+    register_array_backend,
+    registered_array_backends,
+    resolve_array_backend,
+    set_default_array_backend,
+)
 from repro.simulator.executor import ExecutionResult, execute
 from repro.simulator.noise import (
     IdleRates,

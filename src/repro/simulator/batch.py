@@ -1,7 +1,7 @@
 """Vectorized batched Monte-Carlo sampling over a precompiled trace.
 
-Executes all trials of a noisy run as array-level numpy operations
-instead of a per-trial Python loop:
+Executes all trials of a noisy run as array-level operations instead
+of a per-trial Python loop:
 
 1. the full ``(trials, sites)`` Bernoulli occurrence matrix is drawn in
    one RNG call against the trace's per-site firing probabilities;
@@ -18,6 +18,16 @@ instead of a per-trial Python loop:
 4. readout bit flips are applied as one vectorized operation over the
    whole ``(trials, measures)`` outcome array.
 
+The statevector contraction of step 3 runs on a pluggable
+:class:`~repro.simulator.xp.ArrayBackend` (numpy by default; torch or
+cupy when installed) — all RNG draws stay in numpy on the host, so
+counts are **bit-identical** across array backends for the same seeds.
+Chunking is sized by the backend's device-memory-aware
+:meth:`~repro.simulator.xp.ArrayBackend.amplitude_budget` (64 MiB of
+complex128 on host backends, a fraction of free device memory on CUDA,
+``REPRO_CHUNK_MIB`` override everywhere) instead of the fixed
+``1 << 22`` amplitude constant it replaced.
+
 Each step matches the per-trial engine's sampling law exactly (two
 conditionally independent trials with the same error plan are i.i.d.
 draws from the same trajectory distribution), so the batched engine is
@@ -27,20 +37,37 @@ statevector runs with one batched run over the distinct noisy plans.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.simulator.statevector import cached_unitary
 from repro.simulator.trace import DenseEvent, ProgramTrace
+from repro.simulator.xp import ArrayBackend, resolve_array_backend
 
-#: Amplitude budget per simulation chunk (64 MiB of complex128).
-_CHUNK_AMPLITUDES = 1 << 22
+#: What run_batched/batch_plan_probabilities accept as a backend
+#: selector: a registered name, an instance, or None (process default).
+ArrayBackendLike = Union[str, ArrayBackend, None]
 
 
 def run_batched(trace: ProgramTrace, trials: int,
-                rng: np.random.Generator) -> Dict[str, int]:
-    """Sample *trials* shots from *trace*; returns string counts."""
+                rng: np.random.Generator,
+                array_backend: ArrayBackendLike = None) -> Dict[str, int]:
+    """Sample *trials* shots from *trace*; returns string counts.
+
+    Args:
+        trace: The lowered program.
+        trials: Shot count.
+        rng: Host RNG — every draw comes from it, whatever the array
+            backend, which is what makes counts backend-independent.
+        array_backend: Registered array-backend name (or instance) for
+            the statevector contraction; ``None`` uses the process
+            default (numpy unless
+            :func:`~repro.simulator.xp.set_default_array_backend`
+            says otherwise). Unavailable backends warn once and fall
+            back to numpy.
+    """
+    xb = resolve_array_backend(array_backend)
     codes = np.zeros(trials, dtype=np.int64)
     if trace.n_sites:
         occurred = rng.random((trials, trace.n_sites)) < \
@@ -58,7 +85,8 @@ def run_batched(trace: ProgramTrace, trials: int,
 
     noisy_rows = np.nonzero(noisy)[0]
     if noisy_rows.size:
-        _sample_noisy(trace, occurred[noisy_rows], noisy_rows, codes, rng)
+        _sample_noisy(trace, occurred[noisy_rows], noisy_rows, codes, rng,
+                      xb)
 
     rendered = _apply_readout_flips(trace, codes, rng)
     outcomes, counts = np.unique(rendered, return_counts=True)
@@ -68,7 +96,7 @@ def run_batched(trace: ProgramTrace, trials: int,
 
 def _sample_noisy(trace: ProgramTrace, occurred: np.ndarray,
                   noisy_rows: np.ndarray, codes: np.ndarray,
-                  rng: np.random.Generator) -> None:
+                  rng: np.random.Generator, xb: ArrayBackend) -> None:
     """Fill ``codes[noisy_rows]`` by deduplicated trajectory simulation."""
     trial_idx, site_idx = np.nonzero(occurred)  # row-major: sorted by trial
     uniforms = rng.random(trial_idx.size)
@@ -89,11 +117,14 @@ def _sample_noisy(trace: ProgramTrace, occurred: np.ndarray,
             plans.append(plan_events(trace, site_idx[lo:hi], choices[lo:hi]))
             plan_rows.append([])
         plan_rows[index].append(row)
-    patterns = batch_plan_probabilities(trace, plans)
+    patterns = batch_plan_probabilities(trace, plans, array_backend=xb)
+    # One vectorized row-normalize instead of a per-plan divide: each
+    # row's sum is the same contiguous pairwise reduction the per-plan
+    # `probs / probs.sum()` performed, so the draws are bit-identical.
+    patterns /= patterns.sum(axis=1, keepdims=True)
     for index, rows in enumerate(plan_rows):
-        probs = patterns[index]
-        probs = probs / probs.sum()
-        drawn = rng.choice(probs.size, size=len(rows), p=probs)
+        drawn = rng.choice(patterns.shape[1], size=len(rows),
+                           p=patterns[index])
         codes[noisy_rows[np.asarray(rows)]] = drawn
 
 
@@ -108,30 +139,47 @@ def plan_events(trace: ProgramTrace, sites: np.ndarray,
 
 
 def batch_plan_probabilities(trace: ProgramTrace,
-                             plans: List[Dict[int, List[DenseEvent]]]
-                             ) -> np.ndarray:
+                             plans: List[Dict[int, List[DenseEvent]]],
+                             array_backend: ArrayBackendLike = None,
+                             chunk: Optional[int] = None) -> np.ndarray:
     """Measured-pattern distributions of many error plans, batched.
 
     Returns a ``(len(plans), 2**n_measures)`` matrix; row *p* is the
     outcome distribution of the trajectory with error plan ``plans[p]``
     (identical to :meth:`ProgramTrace.plan_probabilities` on that plan).
+
+    Args:
+        trace: The lowered program.
+        plans: Per-plan gate-index -> Pauli-event maps.
+        array_backend: Backend for the contraction (name, instance, or
+            ``None`` for the process default).
+        chunk: Plans per simulation chunk. Defaults to the backend's
+            :meth:`~repro.simulator.xp.ArrayBackend.amplitude_budget`
+            divided by the state size; the result is invariant to the
+            chunk size (chunks only bound peak memory), which the test
+            suite pins at chunk sizes 1, 3, and default.
     """
+    xb = resolve_array_backend(array_backend)
     total = len(plans)
     width = 1 << trace.n_measures
     out = np.empty((total, width), dtype=np.float64)
-    chunk = max(1, _CHUNK_AMPLITUDES >> trace.n_qubits)
+    if chunk is None:
+        chunk = max(1, xb.amplitude_budget() >> trace.n_qubits)
+    elif chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
     for lo in range(0, total, chunk):
         part = plans[lo:lo + chunk]
-        out[lo:lo + len(part)] = _simulate_plans(trace, part)
+        out[lo:lo + len(part)] = _simulate_plans(trace, part, xb)
     return out
 
 
 def _simulate_plans(trace: ProgramTrace,
-                    plans: List[Dict[int, List[DenseEvent]]]) -> np.ndarray:
+                    plans: List[Dict[int, List[DenseEvent]]],
+                    xb: ArrayBackend) -> np.ndarray:
     """One batched statevector pass over all *plans* trajectories."""
     batch = len(plans)
     n = trace.n_qubits
-    state = np.zeros((batch,) + (2,) * n, dtype=np.complex128)
+    state = xb.zeros((batch,) + (2,) * n)
     state[(slice(None),) + (0,) * n] = 1.0
     # Invert the plans: gate index -> {event tuple -> plan rows}.
     per_gate: Dict[int, Dict[Tuple[DenseEvent, ...], List[int]]] = {}
@@ -143,37 +191,39 @@ def _simulate_plans(trace: ProgramTrace,
         if op is not None:
             matrix, dense = op
             if len(dense) == 1:
-                state = _apply_1q(state, matrix, dense[0])
+                state = _apply_1q(xb, state, xb.stage(matrix), dense[0])
             else:
-                state = _apply_2q(state, matrix, dense)
+                state = _apply_2q(xb, state, xb.stage(matrix), dense)
         injections = per_gate.get(i)
         if injections:
             for events, rows in injections.items():
                 idx = np.asarray(rows)
-                sub = state[idx]
+                sub = xb.take_rows(state, idx)
                 for dense_q, pauli in events:
-                    sub = _apply_1q(sub, cached_unitary(pauli), dense_q)
-                state[idx] = sub
-    probs = np.abs(state.reshape(batch, -1)) ** 2
+                    sub = _apply_1q(xb, sub,
+                                    xb.stage(cached_unitary(pauli)),
+                                    dense_q)
+                xb.put_rows(state, idx, sub)
     # Measured qubits are distinct, so after ordering the basis by
     # pattern code every code owns an equal contiguous block: collapse
-    # to pattern distributions with one reshape+sum.
-    return probs[:, trace.pattern_order].reshape(
-        batch, 1 << trace.n_measures, -1).sum(axis=2)
+    # to pattern distributions with one reshape+sum (the chunk's single
+    # device-to-host transfer).
+    return xb.pattern_reduce(state, trace.pattern_order,
+                             1 << trace.n_measures)
 
 
-def _apply_1q(state: np.ndarray, matrix: np.ndarray, q: int) -> np.ndarray:
+def _apply_1q(xb: ArrayBackend, state, matrix, q: int):
     """Apply a 2x2 unitary to qubit *q* of a batched state tensor."""
-    out = np.tensordot(matrix, state, axes=([1], [q + 1]))
-    return np.moveaxis(out, 0, q + 1)
+    out = xb.tensordot(matrix, state, axes=([1], [q + 1]))
+    return xb.moveaxis(out, 0, q + 1)
 
 
-def _apply_2q(state: np.ndarray, matrix: np.ndarray,
-              qs: Tuple[int, int]) -> np.ndarray:
+def _apply_2q(xb: ArrayBackend, state, matrix, qs: Tuple[int, int]):
     """Apply a 4x4 unitary to qubits *qs* of a batched state tensor."""
-    gate = matrix.reshape(2, 2, 2, 2)
-    out = np.tensordot(gate, state, axes=([2, 3], [qs[0] + 1, qs[1] + 1]))
-    return np.moveaxis(out, (0, 1), (qs[0] + 1, qs[1] + 1))
+    gate = xb.reshape(matrix, (2, 2, 2, 2))
+    out = xb.tensordot(gate, state,
+                       axes=([2, 3], [qs[0] + 1, qs[1] + 1]))
+    return xb.moveaxis(out, (0, 1), (qs[0] + 1, qs[1] + 1))
 
 
 def _apply_readout_flips(trace: ProgramTrace, codes: np.ndarray,

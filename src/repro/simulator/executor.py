@@ -144,6 +144,23 @@ def _warn_hooks_ignored(noise: NoiseModel, engine_name: str) -> None:
         RuntimeWarning, stacklevel=3)
 
 
+#: Engine names already warned about dropping an explicit array-backend
+#: selection (engines without a dense contraction have nothing to run
+#: on it; the selection is harmless but worth saying once).
+_WARNED_ARRAY_IGNORED: Set[str] = set()
+
+
+def _warn_array_backend_ignored(engine_name: str) -> None:
+    if engine_name in _WARNED_ARRAY_IGNORED:
+        return
+    _WARNED_ARRAY_IGNORED.add(engine_name)
+    warnings.warn(
+        f"engine={engine_name!r} does not run a pluggable array-backend "
+        f"contraction; the array_backend selection is ignored (results "
+        f"are unaffected — counts are array-backend-independent).",
+        RuntimeWarning, stacklevel=3)
+
+
 def _dense_event(event: PauliEvent, mapping: Dict[int, int]) -> Tuple[int, str]:
     return mapping[event.qubit], event.name
 
@@ -193,18 +210,22 @@ class BatchedEngine(ExecutionEngine):
 
     Lowers error sites from the noise model's probability accessors
     (never the per-trial ``sample_*`` hooks — hence the declared
-    fallback) and samples every trial with array-level numpy
-    operations; see :mod:`repro.simulator.batch`.
+    fallback) and samples every trial with array-level operations; see
+    :mod:`repro.simulator.batch`. The statevector contraction runs on
+    the selected :class:`~repro.simulator.xp.ArrayBackend` (numpy by
+    default) while every RNG draw stays on the host, so counts are
+    bit-identical across array backends.
     """
 
     name = "batched"
     uses_probability_accessors = True
     fallback = "trial"
+    accepts_array_backend = True
 
     def run(self, compiled: CompiledProgram, calibration: Calibration,
             noise: NoiseModel, *, trials: int, seed: int,
             expected: Optional[str] = None,
-            trace_cache=None) -> ExecutionResult:
+            trace_cache=None, array_backend=None) -> ExecutionResult:
         rng = np.random.default_rng(seed)
         trace = (trace_cache.get(compiled, noise, calibration)
                  if trace_cache is not None else None)
@@ -215,7 +236,8 @@ class BatchedEngine(ExecutionEngine):
             trace = ProgramTrace(compact, noise)
             if trace_cache is not None:
                 trace_cache.put(compiled, noise, calibration, trace)
-        counts = run_batched(trace, trials, rng)
+        counts = run_batched(trace, trials, rng,
+                             array_backend=array_backend)
         return ExecutionResult(counts=counts, trials=trials,
                                expected=expected,
                                ideal_distribution=trace.ideal_distribution)
@@ -275,7 +297,7 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
             expected: Optional[str] = None,
             noise_model: Optional[NoiseModel] = None,
             engine: str = "batched",
-            trace_cache=None) -> ExecutionResult:
+            trace_cache=None, array_backend=None) -> ExecutionResult:
     """Run *compiled* for *trials* shots on the noisy simulator.
 
     Args:
@@ -303,6 +325,16 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
             :class:`ProgramTrace` for the same (compiled program, noise
             model) pair instead of re-lowering, which is the dominant
             per-call cost when sweeping seeds or trial counts.
+        array_backend: Registered
+            :class:`~repro.simulator.xp.ArrayBackend` name (or
+            instance) for engines that run their statevector
+            contraction on a pluggable array library (``batched``,
+            ``gpu``). ``None`` means the process default (numpy unless
+            :func:`~repro.simulator.xp.set_default_array_backend` says
+            otherwise); counts are bit-identical across backends, only
+            throughput differs. Engines that don't contract dense
+            statevectors (``trial``, ``analytic``) ignore it with a
+            one-time warning.
 
     Returns:
         Counts plus success-rate/overlap accessors.
@@ -325,6 +357,13 @@ def execute(compiled: CompiledProgram, calibration: Calibration,
             resolved = get_engine(resolved.fallback)
         else:
             _warn_hooks_ignored(noise, resolved.name)
+    if resolved.accepts_array_backend:
+        return resolved.run(compiled, calibration, noise, trials=trials,
+                            seed=seed, expected=expected,
+                            trace_cache=trace_cache,
+                            array_backend=array_backend)
+    if array_backend is not None:
+        _warn_array_backend_ignored(resolved.name)
     return resolved.run(compiled, calibration, noise, trials=trials,
                         seed=seed, expected=expected,
                         trace_cache=trace_cache)
