@@ -12,11 +12,15 @@ from repro.experiments import run_fig11
 KWARGS = {"smt_qubits": (4, 8),
           "greedy_qubits": (4, 8, 32),
           "gate_counts": (128, 256),
-          "smt_time_cap": 2.0} if SMOKE else \
+          "smt_time_cap": 2.0,
+          "clifford_qubits": (30,),
+          "clifford_trials": 256} if SMOKE else \
          {"smt_qubits": (4, 8, 32),
           "greedy_qubits": (4, 8, 32, 128),
           "gate_counts": (128, 256, 512, 1024, 2048),
-          "smt_time_cap": 10.0}
+          "smt_time_cap": 10.0,
+          "clifford_qubits": (30, 60, 100),
+          "clifford_trials": 2048}
 
 
 def test_fig11_compile_time_scaling(benchmark):
@@ -24,6 +28,11 @@ def test_fig11_compile_time_scaling(benchmark):
                                 rounds=1, iterations=1)
     greedy = [p for p in result.points if p.variant == "greedye*"]
     smt = [p for p in result.points if p.variant == "r-smt*"]
+    # The executed stabilizer tier reports a success rate at sizes no
+    # dense engine could even allocate (2**30+ amplitudes).
+    stab = [p for p in result.points if p.variant == "stabilizer"]
+    assert stab and all(p.success is not None for p in stab)
+    assert max(p.n_qubits for p in stab) >= 30
     # Greedy stays under a second everywhere, up to 128q / 2048 gates.
     assert all(p.compile_time < 1.0 for p in greedy)
     # SMT compile time dwarfs greedy once programs stop being toys

@@ -1,0 +1,65 @@
+"""Bench: the stabilizer engine's large-n Clifford tier.
+
+The dense engines stop at the amplitude budget (~22 qubits of
+complex128 under the default chunk cap); the stabilizer engine samples
+noisy Clifford programs in polynomial time. This bench runs the
+50-100+ qubit GHZ-mirror grid end to end through the sweep runtime on
+the ``grid144`` preset — compile, trace lowering, symbolic tableau
+pass, vectorized shot sampling — and pins the two contracts that make
+the tier trustworthy: serial vs parallel sweeps are bit-identical, and
+``engine="auto"`` reproduces the stabilizer counts exactly on Clifford
+input.
+"""
+
+from conftest import SMOKE, record
+
+from repro.backend import get_backend
+from repro.compiler import CompilerOptions
+from repro.programs import ghz_mirror
+from repro.runtime import SweepCell, run_sweep
+
+SIZES = (30, 50) if SMOKE else (50, 60, 100)
+TRIALS = 256 if SMOKE else 4096
+
+
+def _cells(engine: str):
+    """A fresh cell list per run (cells derive state in-place)."""
+    backend = get_backend("grid144")
+    return [SweepCell(circuit=ghz_mirror(n), backend=backend, day=0,
+                      options=CompilerOptions.greedy_e(),
+                      expected="0" * n, trials=TRIALS, seed=11,
+                      engine=engine, key=(engine, n))
+            for n in SIZES]
+
+
+def test_stabilizer_large_n_sweep(benchmark):
+    """End-to-end noisy GHZ-mirror sweep at dense-impossible sizes."""
+    sweep = benchmark.pedantic(
+        run_sweep, args=(_cells("stabilizer"),), kwargs={"strict": True},
+        rounds=1, iterations=1)
+    assert all(r.ok for r in sweep)
+    assert all(0.0 <= r.success_rate <= 1.0 for r in sweep)
+    # Parallel fan-out must reproduce the serial counts bit for bit.
+    fanned = run_sweep(_cells("stabilizer"), workers=2, strict=True)
+    for serial, parallel in zip(sweep, fanned):
+        assert serial.execution.counts == parallel.execution.counts
+    rows = "\n".join(
+        f"  GHZ{n}m @{TRIALS} trials: success={r.success_rate:.4f}"
+        for n, r in zip(SIZES, sweep))
+    record(benchmark,
+           "stabilizer large-n sweep (grid144, serial == 2-worker):\n"
+           + rows)
+
+
+def test_auto_routes_clifford_to_stabilizer(benchmark):
+    """``engine="auto"`` must match ``engine="stabilizer"`` exactly."""
+    reference = run_sweep(_cells("stabilizer"), strict=True)
+    routed = benchmark.pedantic(
+        run_sweep, args=(_cells("auto"),), kwargs={"strict": True},
+        rounds=1, iterations=1)
+    for direct, auto in zip(reference, routed):
+        assert direct.execution.counts == auto.execution.counts
+    record(benchmark,
+           f"auto-routing: {len(SIZES)} Clifford cells "
+           f"(max {max(SIZES)} qubits) bit-identical to the "
+           f"stabilizer engine")

@@ -25,7 +25,12 @@ Built-ins:
   accelerated array backend (cupy, then torch; see
   :class:`GpuEngine`), with device-memory-aware chunking. Registered
   here so it exists even before the simulator loads — counts are
-  bit-identical to ``"batched"``, only throughput differs.
+  bit-identical to ``"batched"``, only throughput differs;
+* ``"stabilizer"`` — polynomial-time CHP tableau sampler for
+  Clifford-only programs (hundreds of qubits; see
+  :mod:`repro.simulator.stabilizer`);
+* ``"auto"`` — per-circuit router: Clifford programs go to
+  ``"stabilizer"``, everything else to the dense default.
 
 This module deliberately imports nothing from the simulator at load
 time (the simulator imports *it* to register the built-ins); lookups
@@ -78,6 +83,10 @@ class ExecutionEngine:
       takes an ``array_backend=`` keyword; :func:`execute` forwards
       the caller's selection only to such engines (and warns once when
       a selection is made against an engine without one).
+    * :attr:`family` — capability class shown by ``repro engines``:
+      ``"dense"`` (statevector, exponential in qubits), ``"stabilizer"``
+      (tableau, polynomial but Clifford-only), ``"router"`` (dispatches
+      to other engines), or ``"estimate"`` (closed form, no sampling).
 
     Engines must be stateless: one shared instance serves every call,
     including concurrent pool workers (determinism comes from the seed
@@ -88,6 +97,17 @@ class ExecutionEngine:
     uses_probability_accessors: bool = False
     fallback: Optional[str] = None
     accepts_array_backend: bool = False
+    family: str = "dense"
+
+    def capacity_note(self) -> str:
+        """Practical qubit ceiling, for the ``repro engines`` listing."""
+        if self.family == "dense":
+            from repro.simulator.xp import resolve_array_backend
+
+            budget = resolve_array_backend("numpy").amplitude_budget()
+            return (f"<= {max(1, budget).bit_length() - 1} qubits "
+                    f"(amplitude budget)")
+        return "unbounded"
 
     def run(self, compiled, calibration, noise, *, trials: int, seed: int,
             expected: Optional[str] = None, trace_cache=None):
@@ -180,6 +200,9 @@ class GpuEngine(ExecutionEngine):
     uses_probability_accessors = True
     fallback = "trial"
     accepts_array_backend = True
+
+    def capacity_note(self) -> str:
+        return "dense ceiling from free device memory"
 
     def run(self, compiled, calibration, noise, *, trials: int, seed: int,
             expected: Optional[str] = None, trace_cache=None,

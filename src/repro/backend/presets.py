@@ -84,6 +84,29 @@ def falcon27() -> Backend:
         description="27-qubit heavy-hex-class target as a 9x3 grid")
 
 
+@register_backend("grid144")
+def grid144() -> Backend:
+    """A 144-qubit 12x12 lattice for the large-n Clifford tier.
+
+    Far beyond any dense amplitude budget — the point of this preset
+    is the stabilizer engine, so its default engine is ``"auto"``:
+    Clifford programs (the GHZ/BV64/repetition-code benchmarks) route
+    to the polynomial tableau path, anything else falls back to dense
+    and hits the capacity guard with a clear error instead of an OOM.
+    Better-than-Rueschlikon noise keeps 100-qubit circuits from fully
+    depolarizing.
+    """
+    return Backend(
+        name="grid144", topology=GridTopology(mx=12, my=12,
+                                              name="Grid144"),
+        profile=NoiseProfile(mean_t1_us=180.0, mean_t2_us=120.0,
+                             mean_cnot_error=0.008,
+                             mean_single_qubit_error=0.0004,
+                             mean_readout_error=0.015),
+        default_engine="auto",
+        description="144-qubit 12x12 grid for stabilizer-tier scenarios")
+
+
 @register_backend("aspen16")
 def aspen16() -> Backend:
     """A 16-qubit 4x4 lattice with a readout-dominated error budget.

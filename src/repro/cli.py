@@ -131,8 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--peephole", action="store_true",
                        help="apply adjacent-inverse cancellation")
         group = p.add_mutually_exclusive_group(required=True)
-        group.add_argument("--benchmark", choices=benchmark_names(),
-                           help="a registered Table-2 benchmark")
+        group.add_argument("--benchmark",
+                           choices=benchmark_names(include_large_n=True),
+                           help="a registered benchmark (Table 2 or the "
+                                "large-n Clifford tier)")
         group.add_argument("--scaffir", type=Path,
                            help="path to a ScaffIR program")
         group.add_argument("--qasm", type=Path,
@@ -176,7 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--engine", default=None,
                        help="execution engine (default: the backend's "
                             "own; registered: batched, trial, analytic, "
-                            "gpu, plus third-party registrations)")
+                            "gpu, stabilizer, auto, plus third-party "
+                            "registrations)")
     run_p.add_argument("--expected", default=None,
                        help="expected outcome string (default: the "
                             "benchmark's registered answer)")
@@ -223,7 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "each backend's own)")
     sweep_p.add_argument("--benchmarks", nargs="+", metavar="NAME",
                          default=["BV4", "HS6", "Toffoli"],
-                         choices=benchmark_names(),
+                         choices=benchmark_names(include_large_n=True),
                          help="benchmarks to sweep (default: BV4 HS6 "
                               "Toffoli)")
     sweep_p.add_argument("--variants", nargs="+", metavar="VARIANT",
@@ -242,6 +245,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seed", type=int, default=7,
                          help="base executor seed (default: 7)")
     sweep_p.add_argument("--trials", type=int, default=1024)
+    sweep_p.add_argument("--engine", default=None,
+                         help="execution engine for every cell "
+                              "(default: each backend's own; "
+                              "stabilizer/auto unlock the large-n "
+                              "Clifford tier)")
     sweep_p.add_argument("--omega", type=float, default=0.5,
                          help="readout weight for r-smt* (default: 0.5)")
     sweep_p.add_argument("--workers", type=_nonnegative_int,
@@ -284,7 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_machine_args(mit_p)
     mit_p.add_argument("--benchmarks", nargs="+", metavar="NAME",
                        default=["BV4", "BV6", "HS2", "Toffoli"],
-                       choices=benchmark_names(),
+                       choices=benchmark_names(include_large_n=True),
                        help="benchmarks to mitigate (default: BV4 BV6 "
                             "HS2 Toffoli)")
     mit_p.add_argument("--variant", default="r-smt*",
@@ -399,7 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--calibration-seed", type=int, default=None)
     submit_p.add_argument("--benchmarks", nargs="+", metavar="NAME",
                           default=["BV4", "HS6", "Toffoli"],
-                          choices=benchmark_names())
+                          choices=benchmark_names(include_large_n=True))
     submit_p.add_argument("--variants", nargs="+", metavar="VARIANT",
                           default=["t-smt*", "r-smt*"],
                           choices=_VARIANT_CHOICES)
@@ -409,6 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--seeds", type=_positive_int, default=1)
     submit_p.add_argument("--seed", type=int, default=7)
     submit_p.add_argument("--trials", type=_positive_int, default=1024)
+    submit_p.add_argument("--engine", default=None,
+                          help="execution engine for every cell "
+                               "(default: each backend's own)")
     submit_p.add_argument("--omega", type=float, default=0.5)
 
     sub.add_parser("backends",
@@ -628,6 +639,7 @@ def _grid_cells(args: argparse.Namespace):
                                                args.routing),
                       expected=specs[bench].expected_output,
                       trials=args.trials, seed=args.seed + s,
+                      engine=getattr(args, "engine", None),
                       array_backend=array_backend,
                       key=(backend.name, bench, variant, day,
                            args.seed + s))
@@ -797,13 +809,15 @@ def _cmd_engines(out) -> int:
     from repro.simulator import array_backend_status
 
     out.write("registered execution engines:\n")
+    out.write(f"  {'name':10s} {'family':10s} {'arrays':>6s}  "
+              f"{'capacity':34s} description\n")
     for name in registered_engines():
         engine = get_engine(name)
         doc = (type(engine).__doc__ or "").strip()
         first_line = doc.splitlines()[0] if doc else ""
-        arrays = " [array-backend aware]" if engine.accepts_array_backend \
-            else ""
-        out.write(f"  {name:10s} {first_line}{arrays}\n")
+        arrays = "yes" if engine.accepts_array_backend else "-"
+        out.write(f"  {name:10s} {engine.family:10s} {arrays:>6s}  "
+                  f"{engine.capacity_note():34s} {first_line}\n")
     out.write("\narray backends (statevector contraction; counts are "
               "bit-identical across them):\n")
     for name, status in array_backend_status().items():
@@ -835,12 +849,15 @@ def _cmd_passes(out) -> int:
 def _cmd_benchmarks(out) -> int:
     out.write(f"{'name':10s} {'qubits':>6} {'gates':>6} {'CNOTs':>6} "
               f"{'answer':>10}\n")
-    for name in benchmark_names():
+    for name in benchmark_names(include_large_n=True):
         spec = get_benchmark(name)
         circuit = spec.build()
+        answer = spec.expected_output
+        if len(answer) > 10:
+            answer = answer[:7] + "..."
         out.write(f"{name:10s} {circuit.n_qubits:>6} "
                   f"{circuit.gate_count():>6} {circuit.cnot_count():>6} "
-                  f"{spec.expected_output:>10}\n")
+                  f"{answer:>10}\n")
     return 0
 
 

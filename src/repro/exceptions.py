@@ -127,5 +127,16 @@ class SimulationError(ReproError):
     """Noisy-executor failure."""
 
 
+class SimulationCapacityError(SimulationError):
+    """The program exceeds the engine's practical capacity.
+
+    Raised by the dense-statevector engines when ``2**n_qubits``
+    amplitudes would exceed the array backend's
+    :meth:`~repro.simulator.xp.ArrayBackend.amplitude_budget` —
+    a clear refusal instead of an out-of-memory allocation. The
+    message suggests ``--engine stabilizer`` for Clifford circuits.
+    """
+
+
 class MitigationError(ReproError):
     """Invalid error-mitigation configuration or input."""

@@ -7,6 +7,12 @@ same sweep on near-square grid machines sized to each program, capping
 the optimal mapper's search with a time budget: once it exceeds the
 cap, the measured wall time is a lower bound (reported with
 ``truncated=True``), which is all the scaling trend needs.
+
+A post-paper tier extends the figure past compile time: GHZ-mirror
+circuits at 30-100 qubits compile with the greedy heuristic and then
+*execute* on the stabilizer engine (variant column ``"stabilizer"``),
+demonstrating end-to-end noisy simulation at sizes where the dense
+engines refuse outright — those points carry a ``success`` column.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.compiler import CompilerOptions
 from repro.hardware import CalibrationGenerator, square_topology
 from repro.experiments.common import format_table
-from repro.programs import random_circuit
+from repro.programs import ghz_mirror, random_circuit
 from repro.runtime import SweepCell, run_sweep
 
 #: The paper's full grid; the default run trims it to keep wall time sane.
@@ -27,17 +33,24 @@ PAPER_GATES = (128, 192, 256, 384, 512, 768, 1024, 1536, 2048)
 DEFAULT_SMT_QUBITS = (4, 8, 32)
 DEFAULT_GREEDY_QUBITS = (4, 8, 32, 128)
 DEFAULT_GATES = (128, 256, 512, 1024, 2048)
+#: GHZ-mirror sizes for the executed stabilizer tier.
+DEFAULT_CLIFFORD_QUBITS = (30, 60, 100)
 
 
 @dataclass
 class ScalePoint:
-    """One (variant, qubits, gates) compile-time sample."""
+    """One (variant, qubits, gates) compile-time sample.
+
+    ``success`` is populated only by the stabilizer tier (the paper's
+    sweep is compile-only); it is the noisy-execution success rate.
+    """
 
     variant: str
     n_qubits: int
     n_gates: int
     compile_time: float
     truncated: bool
+    success: Optional[float] = None
 
     @property
     def compile_time_usec(self) -> float:
@@ -54,9 +67,10 @@ class Fig11Result:
 
     def to_text(self) -> str:
         headers = ["variant", "qubits", "gates", "compile time",
-                   "truncated"]
+                   "truncated", "success"]
         body = [[p.variant, p.n_qubits, p.n_gates,
-                 _human_time(p.compile_time), p.truncated]
+                 _human_time(p.compile_time), p.truncated,
+                 "-" if p.success is None else f"{p.success:.4f}"]
                 for p in self.points]
         return format_table(headers, body)
 
@@ -74,7 +88,9 @@ def run_fig11(smt_qubits: Sequence[int] = DEFAULT_SMT_QUBITS,
               gate_counts: Sequence[int] = DEFAULT_GATES,
               smt_time_cap: float = 10.0,
               seed: int = 2019,
-              workers: int = 0) -> Fig11Result:
+              workers: int = 0,
+              clifford_qubits: Sequence[int] = DEFAULT_CLIFFORD_QUBITS,
+              clifford_trials: int = 2048) -> Fig11Result:
     """Reproduce Figure 11's compile-time sweep.
 
     Args:
@@ -89,18 +105,25 @@ def run_fig11(smt_qubits: Sequence[int] = DEFAULT_SMT_QUBITS,
             contend for CPU and inflate it (and near-cap SMT points
             may truncate earlier) — keep the published scaling curve
             serial and use workers for smoke runs.
+        clifford_qubits: GHZ-mirror sizes for the executed stabilizer
+            tier (compiled with greedy-e, *simulated* on the
+            stabilizer engine — the post-paper large-n extension).
+            Pass ``()`` to skip the tier.
+        clifford_trials: Shots per stabilizer-tier point.
     """
     calibrations = {}
-    for n_qubits in sorted(set(smt_qubits) | set(greedy_qubits)):
+    for n_qubits in sorted(set(smt_qubits) | set(greedy_qubits)
+                           | set(clifford_qubits)):
         topo = square_topology(max(n_qubits, 4))
         calibrations[n_qubits] = CalibrationGenerator(
             topo, seed=seed).snapshot(0)
 
     smt_options = CompilerOptions.r_smt_star().with_(
         solver_time_limit=smt_time_cap)
+    greedy_options = CompilerOptions.greedy_e()
     cells = []
     for variant, qubit_list, options in (
-            ("greedye*", greedy_qubits, CompilerOptions.greedy_e()),
+            ("greedye*", greedy_qubits, greedy_options),
             ("r-smt*", smt_qubits, smt_options)):
         for n_qubits in qubit_list:
             for n_gates in gate_counts:
@@ -111,12 +134,22 @@ def run_fig11(smt_qubits: Sequence[int] = DEFAULT_SMT_QUBITS,
                     circuit=circuit, calibration=calibrations[n_qubits],
                     options=options, simulate=False,
                     key=(variant, n_qubits, n_gates)))
+    for n_qubits in clifford_qubits:
+        circuit = ghz_mirror(n_qubits)
+        cells.append(SweepCell(
+            circuit=circuit, calibration=calibrations[n_qubits],
+            options=greedy_options, engine="stabilizer",
+            trials=clifford_trials, seed=seed,
+            expected="0" * n_qubits,
+            key=("stabilizer", n_qubits, circuit.gate_count())))
 
     points: List[ScalePoint] = []
     for result in run_sweep(cells, workers=workers, strict=True):
         variant, n_qubits, n_gates = result.key
         truncated = (variant == "r-smt*"
                      and not result.compiled.mapping.optimal)
+        success = result.success_rate if variant == "stabilizer" else None
         points.append(ScalePoint(variant, n_qubits, n_gates,
-                                 result.compiled.compile_time, truncated))
+                                 result.compiled.compile_time, truncated,
+                                 success))
     return Fig11Result(points=points)

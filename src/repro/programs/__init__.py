@@ -2,21 +2,34 @@
 
 from repro.programs.arith import adder, fredkin, or_gate, peres, toffoli
 from repro.programs.bv import bernstein_vazirani, bv4, bv6, bv8
+from repro.programs.clifford import (
+    bv64,
+    ghz,
+    ghz12,
+    ghz60,
+    ghz100,
+    ghz_mirror,
+    rep49,
+    repetition_code,
+)
 from repro.programs.hs import hidden_shift, hs2, hs4, hs6
 from repro.programs.qft import append_qft, qft2, qft_roundtrip
 from repro.programs.random_circuits import random_circuit, scalability_suite
 from repro.programs.registry import (
     BENCHMARK_ORDER,
+    LARGE_N_ORDER,
     BenchmarkSpec,
     all_benchmarks,
     benchmark_names,
     build_benchmark,
     expected_output,
     get_benchmark,
+    large_benchmark_names,
 )
 
 __all__ = [
     "BENCHMARK_ORDER",
+    "LARGE_N_ORDER",
     "BenchmarkSpec",
     "adder",
     "all_benchmarks",
@@ -26,19 +39,28 @@ __all__ = [
     "build_benchmark",
     "bv4",
     "bv6",
+    "bv64",
     "bv8",
     "expected_output",
     "fredkin",
     "get_benchmark",
+    "ghz",
+    "ghz100",
+    "ghz12",
+    "ghz60",
+    "ghz_mirror",
     "hidden_shift",
     "hs2",
     "hs4",
     "hs6",
+    "large_benchmark_names",
     "or_gate",
     "peres",
     "qft2",
     "qft_roundtrip",
     "random_circuit",
+    "rep49",
+    "repetition_code",
     "scalability_suite",
     "toffoli",
 ]

@@ -1,0 +1,123 @@
+"""Large-n Clifford benchmark tier (GHZ chains, repetition codes).
+
+The Table-2 benchmarks top out at 8 qubits because every engine used
+to be dense-statevector. These programs are pure Clifford, so the
+stabilizer engine samples them in polynomial time at 50–100+ qubits —
+the scenario tier ROADMAP's "large-n engines" item calls for. All of
+them have deterministic all-zero ideal outcomes (GHZ is used in its
+prepare-uncompute *mirror* form for exactly that reason), so success
+rate stays a meaningful figure of merit at any size.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CircuitError
+from repro.ir.circuit import Circuit
+
+
+def ghz(n_qubits: int, name: str = "") -> Circuit:
+    """A GHZ-state preparation chain, all qubits measured.
+
+    ``h(0)`` then a CNOT ladder; the ideal outcome is the 50/50 mix of
+    all-zeros and all-ones (one measurement coin in stabilizer terms),
+    so this variant has no deterministic expected string — use
+    :func:`ghz_mirror` for success-rate benchmarks.
+    """
+    if n_qubits < 2:
+        raise CircuitError("GHZ needs at least 2 qubits")
+    circuit = Circuit(n_qubits, n_qubits, name=name or f"GHZ{n_qubits}")
+    circuit.h(0)
+    for q in range(n_qubits - 1):
+        circuit.cx(q, q + 1)
+    circuit.measure_all()
+    return circuit
+
+
+def ghz_mirror(n_qubits: int, name: str = "") -> Circuit:
+    """GHZ preparation followed by its inverse (mirror benchmark).
+
+    Prepares the n-qubit GHZ state, uncomputes it, and measures: the
+    ideal outcome is deterministically all zeros, so any deviation is
+    noise — the standard mirror-circuit trick for benchmarking at
+    sizes where verifying a nontrivial output is itself intractable.
+    """
+    if n_qubits < 2:
+        raise CircuitError("GHZ needs at least 2 qubits")
+    circuit = Circuit(n_qubits, n_qubits,
+                      name=name or f"GHZ{n_qubits}m")
+    circuit.h(0)
+    for q in range(n_qubits - 1):
+        circuit.cx(q, q + 1)
+    for q in reversed(range(n_qubits - 1)):
+        circuit.cx(q, q + 1)
+    circuit.h(0)
+    circuit.measure_all()
+    return circuit
+
+
+def repetition_code(distance: int, rounds: int = 1,
+                    name: str = "") -> Circuit:
+    """Bit-flip repetition-code syndrome extraction (EC-style rounds).
+
+    *distance* data qubits start in ``|0...0>``; each round entangles
+    ``distance - 1`` **fresh** ancillas with neighboring data pairs
+    (two CNOTs each, surface-code-style parity checks) and measures
+    them. Fresh ancillas per round keep every measurement terminal —
+    the executor's measurement model — while preserving the circuit
+    shape of repeated stabilizer extraction. A final data measurement
+    closes the circuit; with no noise, every classical bit is 0.
+
+    Total qubits: ``distance + rounds * (distance - 1)``.
+    """
+    if distance < 2:
+        raise CircuitError("repetition code needs distance >= 2")
+    if rounds < 1:
+        raise CircuitError("need at least one syndrome round")
+    n_ancillas = rounds * (distance - 1)
+    n_qubits = distance + n_ancillas
+    circuit = Circuit(n_qubits, n_qubits,
+                      name=name or f"Rep{distance}x{rounds}")
+    for r in range(rounds):
+        base = distance + r * (distance - 1)
+        for j in range(distance - 1):
+            ancilla = base + j
+            circuit.cx(j, ancilla)
+            circuit.cx(j + 1, ancilla)
+        circuit.barrier()
+        for j in range(distance - 1):
+            circuit.measure(base + j)
+    for q in range(distance):
+        circuit.measure(q)
+    return circuit
+
+
+def ghz12() -> Circuit:
+    """12-qubit GHZ mirror — small enough for dense cross-checks."""
+    return ghz_mirror(12, name="GHZ12")
+
+
+def ghz60() -> Circuit:
+    """60-qubit GHZ mirror (stabilizer-tier; dense engines refuse)."""
+    return ghz_mirror(60, name="GHZ60")
+
+
+def ghz100() -> Circuit:
+    """100-qubit GHZ mirror — the headline large-n scenario."""
+    return ghz_mirror(100, name="GHZ100")
+
+
+def bv64() -> Circuit:
+    """Bernstein-Vazirani on 64 data qubits (65 with the ancilla).
+
+    BV is already Clifford (H/X/CNOT only); this instance scales the
+    Table-2 family into stabilizer territory with the same weight-3
+    hidden string construction.
+    """
+    from repro.programs.bv import _weight3_string, bernstein_vazirani
+
+    return bernstein_vazirani(_weight3_string(64), name="BV64")
+
+
+def rep49() -> Circuit:
+    """Distance-13 repetition code, 3 syndrome rounds (49 qubits)."""
+    return repetition_code(13, rounds=3, name="REP49")

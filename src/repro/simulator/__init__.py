@@ -7,7 +7,12 @@ legacy per-trial loop (``execute(..., engine="trial")``). The batched
 engine's statevector contraction runs on a pluggable array backend
 (:mod:`repro.simulator.xp`: numpy always, torch/cupy when installed)
 with host-side RNG, so counts are bit-identical across backends;
-``execute(engine="gpu")`` picks the best accelerated one.
+``execute(engine="gpu")`` picks the best accelerated one. Clifford
+programs additionally have a polynomial-time path:
+``execute(engine="stabilizer")`` runs the symbolic CHP tableau
+subsystem (:mod:`repro.simulator.stabilizer`) over the same lowered
+trace, and ``engine="auto"`` routes each circuit to stabilizer or
+dense automatically.
 """
 
 from repro.simulator.analytic import AnalyticEstimate, estimate_success_analytic
@@ -25,6 +30,14 @@ from repro.simulator.xp import (
     set_default_array_backend,
 )
 from repro.simulator.executor import ExecutionResult, execute
+from repro.simulator.stabilizer import (
+    CLIFFORD_GATES,
+    SymbolicTableau,
+    first_non_clifford,
+    is_clifford,
+    sample_stabilizer_counts,
+    stabilizer_program,
+)
 from repro.simulator.noise import (
     IdleRates,
     NoiseModel,
@@ -43,9 +56,11 @@ from repro.simulator.success import (
 
 __all__ = [
     "AnalyticEstimate",
+    "CLIFFORD_GATES",
     "CompactProgram",
     "ExecutionResult",
     "ProgramTrace",
+    "SymbolicTableau",
     "estimate_success_analytic",
     "IdleRates",
     "NoiseModel",
@@ -55,9 +70,13 @@ __all__ = [
     "distribution_overlap",
     "empirical_distribution",
     "execute",
+    "first_non_clifford",
     "ideal_noise_model",
+    "is_clifford",
     "noise_content_key",
     "run_batched",
+    "sample_stabilizer_counts",
+    "stabilizer_program",
     "success_rate",
     "total_variation_distance",
 ]

@@ -124,6 +124,10 @@ class AnalyticEngine(ExecutionEngine):
     name = "analytic"
     uses_probability_accessors = True
     fallback = None
+    family = "estimate"
+
+    def capacity_note(self) -> str:
+        return f"<= {_MAX_ANALYTIC_CBITS} cbits (string enumeration)"
 
     def run(self, compiled: CompiledProgram, calibration: Calibration,
             noise: NoiseModel, *, trials: int, seed: int,

@@ -226,22 +226,50 @@ def _apply_2q(xb: ArrayBackend, state, matrix, qs: Tuple[int, int]):
     return xb.moveaxis(out, (0, 1), (qs[0] + 1, qs[1] + 1))
 
 
-def _apply_readout_flips(trace: ProgramTrace, codes: np.ndarray,
-                         rng: np.random.Generator) -> np.ndarray:
+def render_readout_bits(trace: ProgramTrace, bits: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
     """Flip measured bits with the calibrated asymmetric probabilities.
 
-    Returns per-trial rendered-cbit codes (bit *j* = final value of
-    ``trace.measured_cbits[j]``). Each classical bit starts from its
-    last writer's measured value, then every measure aliasing that cbit
-    flips it in program order against the *current* value — matching
-    the per-trial engine even when measures share a cbit.
+    Args:
+        trace: The lowered program.
+        bits: ``(trials, n_measures)`` 0/1 array of true measured
+            values (column *m* = measure *m*'s outcome).
+        rng: Host RNG; the draw sequence (one ``rng.random(trials)``
+            per measure, grouped by cbit slot in slot order) is the
+            readout law shared by every trace-consuming engine.
+
+    Returns:
+        ``(trials, n_slots)`` rendered classical bits (column *j* =
+        final value of ``trace.measured_cbits[j]``). Each classical
+        bit starts from its last writer's measured value, then every
+        measure aliasing that cbit flips it in program order against
+        the *current* value — matching the per-trial engine even when
+        measures share a cbit.
     """
-    rendered = np.zeros(codes.shape, dtype=np.int64)
+    trials = bits.shape[0]
+    rendered = np.zeros((trials, len(trace.measured_cbits)),
+                        dtype=np.int64)
     for j in range(len(trace.measured_cbits)):
-        bit = (codes >> trace.last_measure_for_cbit[j]) & 1
+        bit = bits[:, trace.last_measure_for_cbit[j]].astype(np.int64)
         for m in trace.measures_for_cbit[j]:
             flip_p = np.where(bit == 1, trace.readout_p1[m],
                               trace.readout_p0[m])
             bit = bit ^ (rng.random(bit.shape) < flip_p)
-        rendered |= bit << j
+        rendered[:, j] = bit
     return rendered
+
+
+def _apply_readout_flips(trace: ProgramTrace, codes: np.ndarray,
+                         rng: np.random.Generator) -> np.ndarray:
+    """Readout law over pattern *codes* (the dense engines' encoding).
+
+    Unpacks the codes into a measured-bit matrix, applies
+    :func:`render_readout_bits` (bit-identical RNG sequence to the
+    pre-refactor in-place loop), and repacks into rendered-cbit codes
+    (bit *j* = final value of ``trace.measured_cbits[j]``).
+    """
+    bits = (codes[:, np.newaxis]
+            >> np.arange(trace.n_measures, dtype=np.int64)) & 1
+    rendered_bits = render_readout_bits(trace, bits, rng)
+    shifts = np.arange(rendered_bits.shape[1], dtype=np.int64)
+    return (rendered_bits << shifts).sum(axis=1, dtype=np.int64)

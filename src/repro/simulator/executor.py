@@ -42,13 +42,14 @@ import numpy as np
 
 from repro.backend.engines import ExecutionEngine, get_engine, register_engine
 from repro.compiler.compile import CompiledProgram
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationCapacityError, SimulationError
 from repro.hardware.calibration import Calibration
 from repro.simulator.batch import run_batched
 from repro.simulator.noise import NoiseModel, PauliEvent
 from repro.simulator.statevector import StateVector
 from repro.simulator.success import distribution_overlap
 from repro.simulator.trace import CompactProgram, ProgramTrace
+from repro.simulator.xp import resolve_array_backend
 
 #: Backward-compatible alias (the class moved to repro.simulator.trace).
 _CompactProgram = CompactProgram
@@ -161,6 +162,27 @@ def _warn_array_backend_ignored(engine_name: str) -> None:
         RuntimeWarning, stacklevel=3)
 
 
+def check_dense_capacity(n_qubits: int, budget: int,
+                         engine_name: str) -> None:
+    """Refuse a dense run that cannot fit the amplitude budget.
+
+    A ``2**n_qubits`` complex statevector beyond
+    :meth:`~repro.simulator.xp.ArrayBackend.amplitude_budget` would
+    die in the allocator (or swap the host to death) long after the
+    user could do anything about it; fail fast with the remedy
+    instead.
+    """
+    if (1 << n_qubits) > budget:
+        ceiling = max(0, budget).bit_length() - 1
+        raise SimulationCapacityError(
+            f"engine={engine_name!r} needs a dense statevector of "
+            f"2**{n_qubits} amplitudes for this {n_qubits}-qubit "
+            f"program, but the array backend's amplitude budget allows "
+            f"at most {ceiling} qubits (raise it with REPRO_CHUNK_MIB "
+            f"or --chunk-mib); try `--engine stabilizer` for Clifford "
+            f"circuits, or `--engine auto` to route automatically.")
+
+
 def _dense_event(event: PauliEvent, mapping: Dict[int, int]) -> Tuple[int, str]:
     return mapping[event.qubit], event.name
 
@@ -226,6 +248,9 @@ class BatchedEngine(ExecutionEngine):
             noise: NoiseModel, *, trials: int, seed: int,
             expected: Optional[str] = None,
             trace_cache=None, array_backend=None) -> ExecutionResult:
+        xb = resolve_array_backend(array_backend)
+        check_dense_capacity(len(compiled.physical.circuit.used_qubits()),
+                             xb.amplitude_budget(), self.name)
         rng = np.random.default_rng(seed)
         trace = (trace_cache.get(compiled, noise, calibration)
                  if trace_cache is not None else None)
@@ -236,8 +261,7 @@ class BatchedEngine(ExecutionEngine):
             trace = ProgramTrace(compact, noise)
             if trace_cache is not None:
                 trace_cache.put(compiled, noise, calibration, trace)
-        counts = run_batched(trace, trials, rng,
-                             array_backend=array_backend)
+        counts = run_batched(trace, trials, rng, array_backend=xb)
         return ExecutionResult(counts=counts, trials=trials,
                                expected=expected,
                                ideal_distribution=trace.ideal_distribution)
@@ -259,6 +283,9 @@ class TrialEngine(ExecutionEngine):
             noise: NoiseModel, *, trials: int, seed: int,
             expected: Optional[str] = None,
             trace_cache=None) -> ExecutionResult:
+        check_dense_capacity(
+            len(compiled.physical.circuit.used_qubits()),
+            resolve_array_backend("numpy").amplitude_budget(), self.name)
         rng = np.random.default_rng(seed)
         compact = CompactProgram(compiled.physical.circuit,
                                  compiled.physical.times,

@@ -1,0 +1,41 @@
+"""CHP-style stabilizer simulation subsystem (Aaronson–Gottesman).
+
+Polynomial-time noisy sampling for Clifford programs, lowered from the
+same :class:`~repro.simulator.trace.ProgramTrace` error-site table the
+dense engines consume:
+
+* :mod:`~repro.simulator.stabilizer.clifford` — the ``is_clifford``
+  analysis pass (single source of truth for the tracked gate set);
+* :mod:`~repro.simulator.stabilizer.tableau` — a CHP tableau whose
+  phases are symbolic GF(2)-affine expressions, so one pass covers
+  every error plan;
+* :mod:`~repro.simulator.stabilizer.program` — the per-trace symbolic
+  lowering plus the vectorized host-numpy trial sampler;
+* :mod:`~repro.simulator.stabilizer.engine` — the registered
+  ``"stabilizer"`` engine and the ``"auto"`` Clifford router.
+"""
+
+from repro.simulator.stabilizer.clifford import (
+    CLIFFORD_GATES,
+    first_non_clifford,
+    is_clifford,
+)
+from repro.simulator.stabilizer.engine import AutoEngine, StabilizerEngine
+from repro.simulator.stabilizer.program import (
+    StabilizerProgram,
+    sample_stabilizer_counts,
+    stabilizer_program,
+)
+from repro.simulator.stabilizer.tableau import SymbolicTableau
+
+__all__ = [
+    "AutoEngine",
+    "CLIFFORD_GATES",
+    "StabilizerEngine",
+    "StabilizerProgram",
+    "SymbolicTableau",
+    "first_non_clifford",
+    "is_clifford",
+    "sample_stabilizer_counts",
+    "stabilizer_program",
+]

@@ -1,0 +1,45 @@
+"""Clifford-circuit analysis pass.
+
+The stabilizer engine is exact only for programs built from the
+Clifford group generators the tableau can track; this module is the
+single source of truth for that gate set. ``engine="auto"`` routes on
+:func:`is_clifford`, and the stabilizer engine refuses anything
+:func:`first_non_clifford` flags.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Gate
+
+#: Unitary gate names the tableau simulates natively. T/Tdg and the
+#: parametric rotations are the non-Clifford remainder of the IR's
+#: gate set; ``reset`` is non-unitary and unsupported by every
+#: Monte-Carlo engine, so it is deliberately absent here too.
+CLIFFORD_GATES = frozenset(
+    {"id", "h", "x", "y", "z", "s", "sdg", "cx", "cz", "swap"})
+
+#: Non-unitary operations every engine handles outside the gate law.
+_NON_GATE_OPS = frozenset({"measure", "barrier"})
+
+
+def first_non_clifford(circuit: Union[Circuit, Iterable[Gate]]
+                       ) -> Optional[Gate]:
+    """The first gate outside the Clifford set, or ``None``.
+
+    Accepts a :class:`~repro.ir.circuit.Circuit` (or any iterable of
+    gates, e.g. a ``CompactProgram.gates`` list). Measurements and
+    barriers are not gates and never disqualify a circuit.
+    """
+    gates = getattr(circuit, "gates", circuit)
+    for gate in gates:
+        if gate.name not in CLIFFORD_GATES and gate.name not in _NON_GATE_OPS:
+            return gate
+    return None
+
+
+def is_clifford(circuit: Union[Circuit, Iterable[Gate]]) -> bool:
+    """Whether every unitary in *circuit* is a Clifford generator."""
+    return first_non_clifford(circuit) is None

@@ -28,6 +28,7 @@ legacy sampler performs with a single uniform draw.
 
 from __future__ import annotations
 
+from functools import cached_property
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -190,20 +191,6 @@ class ProgramTrace:
         for s, row in enumerate(cum_rows):
             self.site_cum[s, :len(row)] = row
 
-        # Dense-basis index -> measured-bit pattern code (bit m of the
-        # code is the measured value of measure m).
-        basis = np.arange(1 << self.n_qubits, dtype=np.int64)
-        codes = np.zeros(basis.shape, dtype=np.int64)
-        for m, (_, dense, _) in enumerate(self.measures):
-            codes |= ((basis >> (self.n_qubits - 1 - dense)) & 1) << m
-        self.basis_codes = codes
-        # Measured qubits are distinct, so every pattern code covers
-        # exactly 2**(n_qubits - n_measures) basis states; sorting by
-        # code lets the batch collapse basis probabilities to pattern
-        # distributions with one reshape+sum instead of per-row
-        # bincounts.
-        self.pattern_order = np.argsort(codes, kind="stable")
-
         # Classical-bit bookkeeping. Distinct measures may alias the
         # same cbit (last write wins, like the per-trial engine); group
         # measures per cbit so readout flips can chain in measure order.
@@ -229,21 +216,61 @@ class ProgramTrace:
             [noise.readout_flip_probability(hw, 1)
              for hw, _, _ in self.measures], dtype=np.float64)
 
-        # Ideal (noise-free) output distribution over pattern codes.
         self._strings: Dict[int, str] = {}
         self._outcome_strings: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Dense-basis members. These are exponential in n_qubits, so they
+    # are computed lazily: only the dense engines touch them, and the
+    # stabilizer engine shares cached traces with programs far beyond
+    # any dense budget. The values are byte-identical to the eager
+    # computation they replaced (same construction, same ordering), and
+    # ``rescaled`` clones share them via ``__dict__.update``.
+
+    @cached_property
+    def basis_codes(self) -> np.ndarray:
+        """Dense-basis index -> measured-bit pattern code (bit m of the
+        code is the measured value of measure m)."""
+        basis = np.arange(1 << self.n_qubits, dtype=np.int64)
+        codes = np.zeros(basis.shape, dtype=np.int64)
+        for m, (_, dense, _) in enumerate(self.measures):
+            codes |= ((basis >> (self.n_qubits - 1 - dense)) & 1) << m
+        return codes
+
+    @cached_property
+    def pattern_order(self) -> np.ndarray:
+        """Measured qubits are distinct, so every pattern code covers
+        exactly ``2**(n_qubits - n_measures)`` basis states; sorting by
+        code lets the batch collapse basis probabilities to pattern
+        distributions with one reshape+sum instead of per-row
+        bincounts."""
+        return np.argsort(self.basis_codes, kind="stable")
+
+    @cached_property
+    def _ideal(self) -> Tuple[np.ndarray, np.ndarray, Dict[str, float]]:
+        """Ideal (noise-free) output distribution over pattern codes."""
         pattern = self.plan_probabilities({})
         keep = np.nonzero(pattern > _PROB_CUTOFF)[0]
         probs = pattern[keep]
-        self.ideal_codes = keep
-        self.ideal_probs = probs / probs.sum()
         # Aliased cbits can render distinct pattern codes to the same
         # string: accumulate, don't overwrite.
-        self.ideal_distribution = {}
+        distribution: Dict[str, float] = {}
         for c, p in zip(keep, probs):
             string = self.pattern_string(int(c))
-            self.ideal_distribution[string] = \
-                self.ideal_distribution.get(string, 0.0) + float(p)
+            distribution[string] = distribution.get(string, 0.0) + float(p)
+        return keep, probs / probs.sum(), distribution
+
+    @property
+    def ideal_codes(self) -> np.ndarray:
+        return self._ideal[0]
+
+    @property
+    def ideal_probs(self) -> np.ndarray:
+        return self._ideal[1]
+
+    @property
+    def ideal_distribution(self) -> Dict[str, float]:
+        return self._ideal[2]
 
     # ------------------------------------------------------------------
     def rescaled(self, scale: float,
