@@ -1,0 +1,167 @@
+"""Bench: the noise-adaptive mapping solver fast path on the fig11 ladder.
+
+Compares three solver configurations on the Figure-11 random-program
+ladder (the paper's compile-time scalability sweep):
+
+* **seed** — the pre-fast-path configuration: the generic per-value
+  probing engine with an identity warm start (no symmetry breaking, no
+  dominance, no greedy warm start);
+* **cold** — the vectorized engine with topology-automorphism symmetry
+  breaking and dominance pruning, started cold;
+* **warm** — the compile fast path: vectorized engine + symmetries +
+  dominance + greedy warm start (what ``ReliabilitySmtMapper`` runs).
+
+Node counts are bit-deterministic and pinned exactly against
+``solver_baseline.json``; wall clock is machine-dependent and asserted
+only as an aggregate seed/warm ratio (skipped in smoke mode). Points
+past 8 qubits are node-capped: the seed engine cannot finish them (the
+paper reports hours at 32 qubits), so equal node budgets compare cost
+per node in the scaling regime. Optimality is asserted unchanged on
+every uncapped point, and the 2-worker portfolio is asserted
+bit-identical to the serial proof (its merge rule reconstructs the
+serial answer regardless of worker count or core count).
+"""
+
+import json
+import os
+import time
+
+from conftest import SMOKE, record
+
+from repro.compiler.mapping.smt import (
+    _greedy_warm_start,
+    _identity_warm_start,
+    reliability_model,
+)
+from repro.hardware import (
+    CalibrationGenerator,
+    ReliabilityTables,
+    square_topology,
+)
+from repro.programs import random_circuit
+from repro.solver import BranchAndBoundSolver
+from repro.solver.portfolio import PortfolioSolver
+
+_BASELINE = os.path.join(os.path.dirname(__file__), "solver_baseline.json")
+
+
+def _instance(n_qubits: int, n_gates: int):
+    circuit = random_circuit(n_qubits, n_gates,
+                             seed=2019 + n_qubits * 10000 + n_gates)
+    topology = square_topology(max(n_qubits, 4))
+    calibration = CalibrationGenerator(topology, seed=2019).snapshot(0)
+    tables = ReliabilityTables(calibration)
+    model, search_qubits = reliability_model(circuit, calibration,
+                                             tables, 0.5)
+    symmetries = calibration.topology.automorphisms()
+    warm = _greedy_warm_start(circuit, calibration, tables, search_qubits)
+    identity = _identity_warm_start(search_qubits)
+    return model, symmetries, warm, identity
+
+
+def _timed(solver, model, **kwargs):
+    start = time.perf_counter()
+    result = solver.solve(model, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _run_ladder(points):
+    rows = []
+    for spec in points:
+        cap = spec["node_cap"]
+        model, syms, warm, identity = _instance(spec["qubits"],
+                                                spec["gates"])
+        seed, t_seed = _timed(
+            BranchAndBoundSolver(engine="generic", node_limit=cap),
+            model, initial=identity)
+        cold, t_cold = _timed(
+            BranchAndBoundSolver(engine="vector", node_limit=cap),
+            model, symmetries=syms)
+        fast, t_warm = _timed(
+            BranchAndBoundSolver(engine="vector", node_limit=cap),
+            model, initial=warm, symmetries=syms)
+        rows.append({"spec": spec, "seed": seed, "cold": cold,
+                     "warm": fast, "t_seed": t_seed, "t_cold": t_cold,
+                     "t_warm": t_warm})
+    return rows
+
+
+def test_solver_ladder(benchmark):
+    with open(_BASELINE) as fh:
+        baseline = json.load(fh)
+    tier = "smoke" if SMOKE else "full"
+    points = baseline[tier]
+    rows = benchmark.pedantic(_run_ladder, args=(points,),
+                              rounds=1, iterations=1)
+
+    lines = ["fig11 solver ladder (seed vs vectorized fast path)",
+             f"{'point':>14} {'seed':>12} {'cold':>12} {'warm':>12} "
+             f"{'speedup':>8}"]
+    total_seed = total_warm = 0.0
+    for row in rows:
+        spec = row["spec"]
+        seed, cold, warm = row["seed"], row["cold"], row["warm"]
+        # Node counts are deterministic: pin them exactly.
+        assert seed.nodes == spec["seed_nodes"], spec
+        assert cold.nodes == spec["cold_nodes"], spec
+        assert warm.nodes == spec["warm_nodes"], spec
+        if spec["node_cap"] is None:
+            # Unchanged optimality: every configuration proves the
+            # same optimum.
+            assert seed.optimal and cold.optimal and warm.optimal
+            assert abs(seed.objective - warm.objective) < 1e-9
+            assert abs(seed.objective - cold.objective) < 1e-9
+        else:
+            # Node-capped scaling points: the fast path's incumbent is
+            # never worse under the identical budget.
+            assert warm.objective >= seed.objective - 1e-9
+        # The greedy warm start never costs nodes over a cold start.
+        assert warm.nodes <= cold.nodes
+        total_seed += row["t_seed"]
+        total_warm += row["t_warm"]
+        label = (f"{spec['qubits']}q/{spec['gates']}g"
+                 + ("*" if spec["node_cap"] else ""))
+        lines.append(
+            f"{label:>14} {row['t_seed'] * 1e3:>10.1f}ms "
+            f"{row['t_cold'] * 1e3:>10.1f}ms "
+            f"{row['t_warm'] * 1e3:>10.1f}ms "
+            f"{row['t_seed'] / row['t_warm']:>7.2f}x")
+    speedup = total_seed / total_warm
+    lines.append(f"{'aggregate':>14} {total_seed * 1e3:>10.1f}ms "
+                 f"{'':>12} {total_warm * 1e3:>10.1f}ms "
+                 f"{speedup:>7.2f}x  (* = node-capped)")
+    floor = baseline["speedup_floor"][tier]
+    if floor is not None:
+        assert speedup >= floor, (
+            f"fast-path aggregate speedup {speedup:.2f}x fell below the "
+            f"pinned {floor}x floor")
+    record(benchmark, "\n".join(lines))
+
+
+def test_portfolio_bit_identity(benchmark):
+    """The 2-worker portfolio reconstructs the serial answer exactly."""
+    with open(_BASELINE) as fh:
+        baseline = json.load(fh)
+    tier = "smoke" if SMOKE else "full"
+    spec = baseline[tier][1]  # first non-trivial point of the ladder
+    model, syms, warm, _ = _instance(spec["qubits"], spec["gates"])
+
+    serial = BranchAndBoundSolver(engine="vector").solve(
+        model, initial=warm, symmetries=syms)
+
+    def solve_portfolio():
+        return PortfolioSolver(workers=2).solve(
+            model, initial=warm, symmetries=syms)
+
+    portfolio = benchmark.pedantic(solve_portfolio, rounds=1,
+                                   iterations=1)
+    assert portfolio.optimal and serial.optimal
+    assert portfolio.objective == serial.objective
+    assert portfolio.assignment == serial.assignment
+    assert portfolio.stats is not None
+    assert portfolio.stats.engine == "portfolio"
+    record(benchmark,
+           f"portfolio({portfolio.stats.workers}w, "
+           f"{portfolio.stats.subtrees} subtrees) == serial: "
+           f"objective {serial.objective:.6f}, "
+           f"{portfolio.nodes} vs {serial.nodes} nodes")

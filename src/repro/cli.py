@@ -128,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="readout weight for r-smt* (default: 0.5)")
         p.add_argument("--time-limit", type=float, default=60.0,
                        help="solver time limit in seconds")
+        p.add_argument("--solver-workers", type=_positive_int, default=1,
+                       help="processes for the portfolio branch-and-bound "
+                            "(r-smt*); results are bit-identical to "
+                            "serial (default: 1)")
         p.add_argument("--peephole", action="store_true",
                        help="apply adjacent-inverse cancellation")
         group = p.add_mutually_exclusive_group(required=True)
@@ -149,6 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="append the verify pass to the pipeline")
     compile_p.add_argument("--timing", action="store_true",
                            help="print a per-pass timing breakdown")
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="compile under the profiler and report per-pass wall time, "
+             "allocations, and solver search counters")
+    add_machine_args(profile_p)
+    add_compile_args(profile_p)
+    profile_p.add_argument("--no-alloc", action="store_true",
+                           help="skip allocation tracing (tracemalloc "
+                                "slows the compile it measures)")
+    profile_p.add_argument("--json", action="store_true",
+                           help="emit the profile as JSON instead of a "
+                                "table")
 
     def add_cache_dir(p: argparse.ArgumentParser) -> None:
         p.add_argument("--cache-dir", type=Path, default=None,
@@ -465,7 +482,8 @@ def _variant_options(variant: str, omega: float,
 
 def _options(args: argparse.Namespace) -> CompilerOptions:
     return _variant_options(args.variant, args.omega, args.routing).with_(
-        solver_time_limit=args.time_limit, peephole=args.peephole)
+        solver_time_limit=args.time_limit, peephole=args.peephole,
+        solver_workers=getattr(args, "solver_workers", 1))
 
 
 def _cmd_compile(args: argparse.Namespace, out) -> int:
@@ -488,6 +506,31 @@ def _cmd_compile(args: argparse.Namespace, out) -> int:
         print(f"wrote {args.output}", file=sys.stderr)
     else:
         out.write(text)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace, out) -> int:
+    import json as _json
+
+    from repro.profiling import Profiler
+
+    circuit, _ = _load_circuit(args)
+    calibration = device_calibration(args.device, day=args.day,
+                                     seed=args.calibration_seed)
+    options = _options(args)
+    pipeline = build_pipeline(options)
+    with Profiler(trace_allocations=not args.no_alloc) as profiler:
+        program = pipeline.run(circuit, calibration, options,
+                               profiler=profiler)
+    solver_stats = program.mapping.stats if program.mapping else None
+    if args.json:
+        out.write(_json.dumps({"passes": profiler.as_dict(),
+                               "solver": solver_stats,
+                               "compile_time": program.compile_time},
+                              indent=2) + "\n")
+        return 0
+    print(program.summary(), file=sys.stderr)
+    out.write(profiler.report(solver_stats=solver_stats) + "\n")
     return 0
 
 
@@ -868,6 +911,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     try:
         if args.command == "compile":
             return _cmd_compile(args, out)
+        if args.command == "profile":
+            return _cmd_profile(args, out)
         if args.command == "run":
             return _cmd_run(args, out)
         if args.command == "calibration":

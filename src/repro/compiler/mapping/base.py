@@ -22,6 +22,8 @@ class MappingResult:
             objective (SMT variants) or heuristic (greedy variants).
         solve_time: Seconds spent inside the mapper.
         nodes: Search nodes expanded (0 for heuristics).
+        stats: Solver search counters (engine, prunes, incumbents,
+            workers, ...) for the SMT variants; ``None`` for heuristics.
     """
 
     placement: Dict[int, int]
@@ -29,6 +31,7 @@ class MappingResult:
     optimal: bool = False
     solve_time: float = 0.0
     nodes: int = 0
+    stats: Optional[Dict[str, object]] = None
 
     def validate(self, circuit: Circuit, calibration: Calibration) -> None:
         """Sanity-check the placement: total, injective, in range.

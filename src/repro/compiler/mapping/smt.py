@@ -15,12 +15,16 @@ the branch-and-bound engine (the Z3 substitute, see DESIGN.md):
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.compiler.mapping.base import Mapper, MappingResult
+from repro.compiler.mapping.greedy import GreedyEdgeMapper
 from repro.compiler.options import CompilerOptions
 from repro.compiler.scheduling.list_scheduler import makespan_of
 from repro.exceptions import MappingError
@@ -42,6 +46,8 @@ from repro.solver import (
     UnaryTerm,
     Variable,
 )
+from repro.solver.bnb import SolveResult
+from repro.solver.portfolio import PortfolioSolver
 
 _LOG_FLOOR = 1e-12
 
@@ -78,13 +84,31 @@ def _base_model(search_qubits: List[int],
 
 
 def _identity_warm_start(search_qubits: List[int]) -> Dict[str, int]:
-    """Program qubit q -> hardware qubit q, the mappers' shared warm start.
+    """Program qubit q -> hardware qubit q, the mappers' fallback warm start.
 
     The solver validates the warm start itself and starts cold if it is
     infeasible under the model (e.g. a symmetry-broken domain excludes
     the identity placement).
     """
     return {_var(q): q for q in search_qubits}
+
+
+def _greedy_warm_start(circuit: Circuit, calibration: Calibration,
+                       tables: ReliabilityTables,
+                       search_qubits: List[int]) -> Dict[str, int]:
+    """Seed the exact search with GreedyE*'s placement.
+
+    The greedy mapper lands near the optimum on most calibrations, so
+    its value prunes the vast majority of the tree from node one. Any
+    greedy failure — or a placement the model later rejects — degrades
+    to the identity warm start / a cold search: warm starts are an
+    accelerator, never a correctness dependency.
+    """
+    try:
+        greedy = GreedyEdgeMapper().run(circuit, calibration, tables)
+        return {_var(q): int(greedy.placement[q]) for q in search_qubits}
+    except Exception:
+        return _identity_warm_start(search_qubits)
 
 
 def _complete_placement(circuit: Circuit, calibration: Calibration,
@@ -106,6 +130,78 @@ def _complete_placement(circuit: Circuit, calibration: Calibration,
     return placement
 
 
+def _stats_dict(result: SolveResult) -> Optional[Dict[str, object]]:
+    """Solver counters as a plain dict for MappingResult metadata."""
+    if result.stats is None:
+        return None
+    return dataclasses.asdict(result.stats)
+
+
+def reliability_model(circuit: Circuit, calibration: Calibration,
+                      tables: ReliabilityTables,
+                      omega: float) -> Tuple[Model, List[int]]:
+    """Build the R-SMT* assignment model (Eq. 12) for *circuit*.
+
+    Exposed as a module-level helper so the solver benchmarks and
+    tests can drive the exact production model through alternative
+    engines (``engine="generic"`` reference runs, portfolio identity
+    checks) without going through a full compile.
+
+    Returns:
+        (model with its objective set, the interacting search qubits).
+    """
+    search_qubits = _interacting_qubits(circuit)
+    model = _base_model(search_qubits, calibration)
+
+    # Dense score tables, computed once per run and shared by every
+    # term: the vector engine compiles them straight into its cost
+    # matrices instead of probing Python closures H^2 times per pair.
+    hw = list(calibration.topology.iter_qubits())
+    hw_set = set(hw)
+    n_hw = max(hw) + 1
+    readout_logrel = np.array(
+        [math.log(max(calibration.readout_reliability(h), _LOG_FLOOR))
+         if h in hw_set else math.log(_LOG_FLOOR)
+         for h in range(n_hw)])
+    cnot_logrel = np.full((n_hw, n_hw), math.log(_LOG_FLOOR))
+    for hc in hw:
+        for ht in hw:
+            if hc != ht:
+                cnot_logrel[hc, ht] = math.log(
+                    max(tables.best_one_bend(hc, ht).reliability,
+                        _LOG_FLOOR))
+
+    terms: List = []
+    # Readout terms: one per measurement (Constraint 10). Readouts on
+    # non-interacting qubits are optimized by the greedy completion.
+    readout_counts = Counter(g.qubits[0] for g in circuit.measurements)
+    for q, count in sorted(readout_counts.items()):
+        if q not in search_qubits:
+            continue
+
+        def score(h: int, _count: int = count) -> float:
+            rel = max(calibration.readout_reliability(h), _LOG_FLOOR)
+            return omega * _count * math.log(rel)
+        terms.append(UnaryTerm(_var(q), score,
+                               vector=omega * count * readout_logrel))
+    # CNOT terms: one per ordered interacting pair, weighted by the
+    # number of CNOTs between the pair (Constraint 11 via EC lookups).
+    cnot_counts = Counter((g.control, g.target) for g in circuit.cnots)
+    for (qc, qt), count in sorted(cnot_counts.items()):
+        def score(hc: int, ht: int, _count: int = count) -> float:
+            if hc == ht:
+                return _count * math.log(_LOG_FLOOR)
+            rel = max(tables.best_one_bend(hc, ht).reliability,
+                      _LOG_FLOOR)
+            return (1.0 - omega) * _count * math.log(rel)
+        matrix = (1.0 - omega) * count * cnot_logrel
+        np.fill_diagonal(matrix, count * math.log(_LOG_FLOOR))
+        terms.append(PairTerm(_var(qc), _var(qt), score, matrix=matrix))
+
+    model.objective = SumObjective(terms)
+    return model, search_qubits
+
+
 class ReliabilitySmtMapper(Mapper):
     """R-SMT*: maximize the Eq.-12 weighted log-reliability objective.
 
@@ -119,40 +215,21 @@ class ReliabilitySmtMapper(Mapper):
     def run(self, circuit: Circuit, calibration: Calibration,
             tables: ReliabilityTables) -> MappingResult:
         self.check_fits(circuit, calibration)
-        omega = self.options.omega
-        search_qubits = _interacting_qubits(circuit)
-        model = _base_model(search_qubits, calibration)
-
-        terms: List = []
-        # Readout terms: one per measurement (Constraint 10). Readouts on
-        # non-interacting qubits are optimized by the greedy completion.
-        readout_counts = Counter(g.qubits[0] for g in circuit.measurements)
-        for q, count in sorted(readout_counts.items()):
-            if q not in search_qubits:
-                continue
-
-            def score(h: int, _count: int = count) -> float:
-                rel = max(calibration.readout_reliability(h), _LOG_FLOOR)
-                return omega * _count * math.log(rel)
-            terms.append(UnaryTerm(_var(q), score))
-        # CNOT terms: one per ordered interacting pair, weighted by the
-        # number of CNOTs between the pair (Constraint 11 via EC lookups).
-        cnot_counts = Counter((g.control, g.target) for g in circuit.cnots)
-        for (qc, qt), count in sorted(cnot_counts.items()):
-            def score(hc: int, ht: int, _count: int = count) -> float:
-                if hc == ht:
-                    return _count * math.log(_LOG_FLOOR)
-                rel = max(tables.best_one_bend(hc, ht).reliability,
-                          _LOG_FLOOR)
-                return (1.0 - omega) * _count * math.log(rel)
-            terms.append(PairTerm(_var(qc), _var(qt), score))
-
-        model.objective = SumObjective(terms)
-        solver = BranchAndBoundSolver(
-            time_limit=self.options.solver_time_limit)
+        model, search_qubits = reliability_model(
+            circuit, calibration, tables, self.options.omega)
+        if self.options.solver_workers > 1:
+            solver = PortfolioSolver(
+                workers=self.options.solver_workers,
+                time_limit=self.options.solver_time_limit)
+        else:
+            solver = BranchAndBoundSolver(
+                time_limit=self.options.solver_time_limit)
         start = time.perf_counter()
         result = solver.solve(
-            model, initial=_identity_warm_start(search_qubits))
+            model,
+            initial=_greedy_warm_start(circuit, calibration, tables,
+                                       search_qubits),
+            symmetries=calibration.topology.automorphisms())
         elapsed = time.perf_counter() - start
         if result.assignment is None:
             raise MappingError("R-SMT* found no feasible placement")
@@ -161,7 +238,8 @@ class ReliabilitySmtMapper(Mapper):
         out = MappingResult(placement=placement,
                             objective=result.objective,
                             optimal=result.optimal,
-                            solve_time=elapsed, nodes=result.nodes)
+                            solve_time=elapsed, nodes=result.nodes,
+                            stats=_stats_dict(result))
         out.validate(circuit, calibration)
         return out
 
@@ -231,9 +309,19 @@ class TimeSmtMapper(Mapper):
         model.objective = CallableObjective(value_fn, bound_fn)
         solver = BranchAndBoundSolver(
             time_limit=self.options.solver_time_limit)
+        # The noise-unaware flavor must stay calibration-independent, so
+        # it cannot take the greedy (calibration-driven) warm start; it
+        # keeps the identity seed, reflected into the symmetry-broken
+        # quadrant so it survives the restricted domain.
+        if uniform:
+            initial = self._reflect_into_quadrant(
+                _identity_warm_start(search_qubits), search_qubits,
+                calibration)
+        else:
+            initial = _greedy_warm_start(circuit, calibration, tables,
+                                         search_qubits)
         start = time.perf_counter()
-        result = solver.solve(
-            model, initial=_identity_warm_start(search_qubits))
+        result = solver.solve(model, initial=initial)
         elapsed = time.perf_counter() - start
         if result.assignment is None:
             raise MappingError("T-SMT found no feasible placement")
@@ -242,7 +330,8 @@ class TimeSmtMapper(Mapper):
         out = MappingResult(placement=placement,
                             objective=result.objective,
                             optimal=result.optimal,
-                            solve_time=elapsed, nodes=result.nodes)
+                            solve_time=elapsed, nodes=result.nodes,
+                            stats=_stats_dict(result))
         out.validate(circuit, calibration)
         return out
 
@@ -262,6 +351,32 @@ class TimeSmtMapper(Mapper):
         first = model.variable(_var(search_qubits[0]))
         model.variables[model.variables.index(first)] = Variable(
             name=first.name, domain=tuple(canonical))
+
+    @staticmethod
+    def _reflect_into_quadrant(initial: Dict[str, int],
+                               search_qubits: List[int],
+                               calibration: Calibration) -> Dict[str, int]:
+        """Map a warm start into the symmetry-broken quadrant.
+
+        The uniform variant restricts the first searched qubit's domain
+        to one grid quadrant (:meth:`_break_symmetry`); a greedy warm
+        start may land outside it and would be rejected by validation.
+        Grid automorphisms preserve the uniform makespan objective, so
+        reflecting the whole placement through one that brings the
+        first qubit inside keeps the warm start's value intact.
+        """
+        topo = calibration.topology
+        canonical = {h for h in topo.iter_qubits()
+                     if topo.coords(h)[0] <= (topo.mx - 1) / 2
+                     and topo.coords(h)[1] <= (topo.my - 1) / 2}
+        first = _var(search_qubits[0])
+        if initial.get(first) in canonical:
+            return initial
+        for perm in topo.automorphisms():
+            mapped = {name: perm[h] for name, h in initial.items()}
+            if mapped[first] in canonical:
+                return mapped
+        return initial
 
     def _optimistic_durations(self, circuit: Circuit,
                               assignment: Dict[str, int],

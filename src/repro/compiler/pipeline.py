@@ -419,7 +419,7 @@ class PassManager:
     def run(self, circuit: Circuit, calibration: Calibration,
             options: CompilerOptions,
             tables: Optional[ReliabilityTables] = None,
-            stage_cache=None) -> CompiledProgram:
+            stage_cache=None, profiler=None) -> CompiledProgram:
         """Execute the pipeline and assemble the compiled artifact.
 
         Args:
@@ -440,6 +440,10 @@ class PassManager:
                 after; cached artifacts are shared objects, so their
                 wall-clock diagnostics (e.g. ``MappingResult.solve_time``)
                 describe the original computation.
+            profiler: Optional :class:`repro.profiling.Profiler`;
+                each executed pass is measured under its name and
+                stage-cache hits are counted. ``None`` (the default)
+                keeps the hot path free of instrumentation.
 
         Returns:
             The compiled artifact; its ``pass_timings`` records each
@@ -457,7 +461,11 @@ class PassManager:
                 else None
             if artifact is None:
                 tick = time.perf_counter()
-                artifact = p.run(ctx)
+                if profiler is not None:
+                    with profiler.measure(p.name):
+                        artifact = p.run(ctx)
+                else:
+                    artifact = p.run(ctx)
                 seconds = time.perf_counter() - tick
                 if artifact is None:
                     raise CompilationError(
@@ -468,6 +476,8 @@ class PassManager:
             else:
                 seconds = 0.0
                 cached = True
+                if profiler is not None:
+                    profiler.record_cache_hit(p.name)
             setattr(ctx, p.produces, artifact)
             ctx.timings.append(PassTiming(name=p.name, seconds=seconds,
                                           cached=cached))

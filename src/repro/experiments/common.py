@@ -162,9 +162,13 @@ def compile_and_run(circuit: Circuit, expected: str,
                      seed=seed, simulate=simulate, engine=engine,
                      array_backend=array_backend,
                      backend=resolved, key=circuit.name)
-    result = run_cell(cell, compile_cache,
-                      trace_cache if trace_cache is not None
-                      else TraceCache())
+    if trace_cache is None:
+        from repro.runtime.diskcache import make_trace_cache
+
+        # A persistent compile cache extends its disk store to traces.
+        trace_cache = make_trace_cache(
+            store=getattr(compile_cache, "_store", None))
+    result = run_cell(cell, compile_cache, trace_cache)
     return BenchmarkRun(benchmark=circuit.name, variant=options.variant,
                         compiled=result.compiled, execution=result.execution)
 

@@ -42,7 +42,8 @@ from pathlib import Path
 from typing import Dict, Optional
 
 import repro
-from repro.runtime.cache import CompileCache, CompileKey, StageCache
+from repro.runtime.cache import (CompileCache, CompileKey, StageCache,
+                                 TraceCache)
 
 #: Consecutive failed writes after which a store flips to memory-only.
 DEGRADE_AFTER = 3
@@ -246,13 +247,14 @@ class DiskStore:
         self.redemptions += 1
         return True
 
-    def load(self, kind: str, key: str) -> Optional[object]:
-        """The stored object for *key*, or ``None``.
+    def load_blob(self, kind: str, key: str) -> Optional[bytes]:
+        """The stored raw payload for *key*, or ``None``.
 
         Missing entries, payloads whose embedded digest no longer
-        matches, entries recorded under a different full key (digest
-        collision), and unpicklable payloads all return ``None`` — the
-        caller recomputes; nothing is ever served unverified.
+        matches, and entries recorded under a different full key
+        (digest collision) all return ``None`` — the caller recomputes;
+        nothing is ever served unverified. A returned payload counts as
+        a hit even if the caller's decode subsequently rejects it.
         """
         stats = self.stats_for(kind)
         try:
@@ -270,29 +272,36 @@ class DiskStore:
                 "ascii", errors="replace"):
             stats.misses += 1
             return None
+        stats.hits += 1
+        return payload
+
+    def load(self, kind: str, key: str) -> Optional[object]:
+        """The stored (pickled) object for *key*, or ``None``.
+
+        On top of :meth:`load_blob`'s integrity checks, an unpicklable
+        payload also loads as ``None`` (counted back as a miss)."""
+        stats = self.stats_for(kind)
+        payload = self.load_blob(kind, key)
+        if payload is None:
+            return None
         try:
-            obj = pickle.loads(payload)
+            return pickle.loads(payload)
         except Exception:
+            stats.hits -= 1
             stats.misses += 1
             return None
-        stats.hits += 1
-        return obj
 
-    def store(self, kind: str, key: str, obj: object) -> None:
-        """Persist *obj* under *key* (atomic publish; errors ignored).
+    def store_blob(self, kind: str, key: str, payload: bytes) -> None:
+        """Persist raw *payload* under *key* (atomic publish; errors
+        ignored).
 
-        A full disk or an unpicklable artifact degrades to in-memory
-        caching rather than failing the sweep; after
-        :data:`DEGRADE_AFTER` consecutive ``OSError`` publishes the
-        whole store flips to memory-only mode (warn-once
+        A full disk degrades to in-memory caching rather than failing
+        the sweep; after :data:`DEGRADE_AFTER` consecutive ``OSError``
+        publishes the whole store flips to memory-only mode (warn-once
         ``RuntimeWarning``, surfaced in :class:`StoreStats`) instead of
         retrying the filesystem on every artifact.
         """
         if self.degraded:
-            return
-        try:
-            payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
             return
         path = self._path(kind, key)
         try:
@@ -319,6 +328,15 @@ class DiskStore:
         self._consecutive_write_failures = 0
         self.stats_for(kind).bytes_written += \
             len(payload) + len(digest) + len(key) + 2
+
+    def store(self, kind: str, key: str, obj: object) -> None:
+        """Pickle and persist *obj* under *key* (see :meth:`store_blob`;
+        an unpicklable artifact is silently kept memory-only)."""
+        try:
+            payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return
+        self.store_blob(kind, key, payload)
 
 
 def _compile_key_string(key: CompileKey) -> str:
@@ -398,6 +416,92 @@ class PersistentStageCache(StageCache):
     def put(self, key: str, artifact: object) -> None:
         super().put(key, artifact)
         self._store.store("stage", key, artifact)
+
+
+class PersistentTraceCache(TraceCache):
+    """A :class:`TraceCache` with an npz disk tier for lowered traces.
+
+    Lowering a :class:`~repro.simulator.trace.ProgramTrace` includes a
+    dense statevector simulation of the whole program (the ideal
+    distribution), so for the repeated-trials sweeps it is the dominant
+    per-cell cost after compilation. This tier serializes traces to
+    compressed ``.npz`` (flat arrays only — see
+    ``ProgramTrace.to_arrays``; no pickle on the load path) keyed by
+    the same content key the in-memory tier uses, so repeated
+    invocations with ``--cache-dir`` skip straight to sampling.
+
+    Only exact ``ProgramTrace`` instances go to disk: the stabilizer
+    engine parks its own lowered objects in the same cache under the
+    same key contract, and those (or any trace subclass) stay
+    memory-only rather than risking a lossy round-trip.
+    """
+
+    KIND = "trace"
+
+    def __init__(self, store: DiskStore) -> None:
+        super().__init__()
+        self._store = store
+
+    def get(self, compiled, noise, calibration, scope=None):
+        trace = super().get(compiled, noise, calibration, scope)
+        if trace is not None:
+            return trace
+        key = self._key(compiled, noise, calibration, scope)
+        if key is None:
+            return None
+        blob = self._store.load_blob(self.KIND, repr(key))
+        if blob is None:
+            return None
+        import io
+
+        import numpy as np
+
+        from repro.simulator.trace import ProgramTrace
+
+        try:
+            with np.load(io.BytesIO(blob), allow_pickle=False) as data:
+                trace = ProgramTrace.from_arrays(dict(data))
+        except Exception:
+            return None  # malformed entry: treated as a miss, re-lowered
+        self._traces[key] = trace
+        return trace
+
+    def put(self, compiled, noise, calibration, trace,
+            scope=None) -> None:
+        super().put(compiled, noise, calibration, trace, scope)
+        from repro.simulator.trace import ProgramTrace
+
+        if type(trace) is not ProgramTrace:
+            return
+        key = self._key(compiled, noise, calibration, scope)
+        if key is None:
+            return
+        import io
+
+        import numpy as np
+
+        buf = io.BytesIO()
+        try:
+            np.savez_compressed(buf, **trace.to_arrays())
+        except Exception:
+            return
+        self._store.store_blob(self.KIND, repr(key), buf.getvalue())
+
+
+def make_trace_cache(cache_dir=None, store: Optional[DiskStore] = None
+                     ) -> TraceCache:
+    """The one rule for building a trace cache from a ``cache_dir``.
+
+    Mirrors :func:`make_compile_cache`: ``None`` means in-memory only,
+    a path means the npz-backed persistent tier. Pass ``store`` to
+    share an existing :class:`DiskStore` (and its degradation state /
+    stats) instead of opening a second one on the same directory.
+    """
+    if store is not None:
+        return PersistentTraceCache(store)
+    if cache_dir is None:
+        return TraceCache()
+    return PersistentTraceCache(DiskStore(cache_dir))
 
 
 class PersistentCompileCache(CompileCache):

@@ -71,12 +71,16 @@ def _worker_main(conn, batch: Sequence[IndexedCell],
     race benignly) and every completed cell is checkpoint-journaled;
     lowered traces stay worker-local either way.
     """
-    from repro.runtime.diskcache import make_compile_cache
+    from repro.runtime.diskcache import make_compile_cache, make_trace_cache
     from repro.runtime.sweep import run_cell_guarded
 
     try:
         compile_cache = make_compile_cache(cache_dir)
-        trace_cache = TraceCache()
+        # Persistent runs share the compile cache's disk store (and its
+        # degradation state) for the npz trace tier; otherwise traces
+        # stay worker-local in memory.
+        trace_cache = make_trace_cache(
+            store=getattr(compile_cache, "_store", None))
         for index, cell in batch:
             result = run_cell_guarded(
                 index, cell, compile_cache, trace_cache, faults=faults,
@@ -240,7 +244,13 @@ def run_batches(batches: Sequence[Sequence[IndexedCell]], workers: int,
                     else "WorkerDied",
                     message=f"{reason}; quarantined after "
                             f"{attempts[head_index]} attempts",
-                    attempts=attempts[head_index], stage=stage))
+                    attempts=attempts[head_index], stage=stage,
+                    program=str(getattr(
+                        getattr(head_cell, "circuit", None), "name", "")
+                        or ""),
+                    mapper=str(getattr(
+                        getattr(head_cell, "options", None), "variant", "")
+                        or "")))
             remaining = remaining[1:]
         if remaining:
             pending.appendleft(remaining)

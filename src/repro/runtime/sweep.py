@@ -246,6 +246,12 @@ class CellFailure:
             inside :func:`run_cell`), ``"worker"`` (the worker process
             died), or ``"timeout"`` (the watchdog killed a stuck
             worker).
+        program: The failing cell's circuit name — so a
+            ``SolverError``/``MappingError`` buried in a 200-cell sweep
+            names its benchmark without the caller joining against the
+            grid by index.
+        mapper: The cell's compiler variant (``"r-smt*"``, ...) — the
+            mapping policy that was running when the cell failed.
     """
 
     key: Hashable
@@ -255,21 +261,45 @@ class CellFailure:
     traceback: str = ""
     attempts: int = 1
     stage: str = "cell"
+    program: str = ""
+    mapper: str = ""
 
     @classmethod
     def from_exception(cls, index: int, key: Hashable, exc: Exception,
-                       attempts: int = 1) -> "CellFailure":
+                       attempts: int = 1,
+                       cell: Optional["SweepCell"] = None) -> "CellFailure":
         return cls(key=key, index=index, error_type=type(exc).__name__,
                    message=str(exc),
                    traceback="".join(_traceback.format_exception(
                        type(exc), exc, exc.__traceback__)),
-                   attempts=attempts, stage="cell")
+                   attempts=attempts, stage="cell",
+                   program=_cell_program(cell), mapper=_cell_mapper(cell))
 
     def describe(self) -> str:
         """One-line rendering for the failure report."""
-        return (f"cell {self.key!r} (grid index {self.index}): "
+        where = ""
+        if self.program or self.mapper:
+            where = (f" [{self.program or '?'}"
+                     f" via {self.mapper or '?'}]")
+        return (f"cell {self.key!r} (grid index {self.index}){where}: "
                 f"{self.error_type}: {self.message} "
                 f"[stage={self.stage}, attempts={self.attempts}]")
+
+
+def _cell_program(cell: Optional["SweepCell"]) -> str:
+    """The cell's circuit name, defensively ("" when unknown)."""
+    if cell is None:
+        return ""
+    circuit = getattr(cell, "circuit", None)
+    return str(getattr(circuit, "name", "") or "")
+
+
+def _cell_mapper(cell: Optional["SweepCell"]) -> str:
+    """The cell's compiler variant, defensively ("" when unknown)."""
+    if cell is None:
+        return ""
+    options = getattr(cell, "options", None)
+    return str(getattr(options, "variant", "") or "")
 
 
 @dataclass
@@ -489,7 +519,8 @@ def run_cell_guarded(index: int, cell: SweepCell,
             raise
         return CellResult(key=cell.key,
                           failure=CellFailure.from_exception(
-                              index, cell.key, exc, attempts=attempts + 1))
+                              index, cell.key, exc, attempts=attempts + 1,
+                              cell=cell))
     if journal is not None:
         fingerprint = cell_fingerprint(cell)
         journal.record(fingerprint, result)
@@ -734,7 +765,13 @@ def run_sweep(cells: Sequence[SweepCell], workers: int = 0,
         # A single compile-key group has no parallelism to exploit:
         # the in-process path below serves it without fork overhead.
 
-    trace_cache = trace_cache if trace_cache is not None else TraceCache()
+    if trace_cache is None:
+        from repro.runtime.diskcache import make_trace_cache
+
+        # Persistent compile caches donate their disk store to the npz
+        # trace tier, so ``cache_dir=`` persists lowered traces too.
+        trace_cache = make_trace_cache(
+            store=getattr(compile_cache, "_store", None))
     for index, cell in todo:
         results[index] = run_cell_guarded(
             index, cell, compile_cache, trace_cache, faults=faults,

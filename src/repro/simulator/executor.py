@@ -260,6 +260,11 @@ class BatchedEngine(ExecutionEngine):
                                      topology=calibration.topology)
             trace = ProgramTrace(compact, noise)
             if trace_cache is not None:
+                # Materialize the ideal distribution (needed below
+                # anyway) before caching, so a persistent trace tier
+                # captures the dense simulation — the dominant lowering
+                # cost — not just the site tables.
+                _ = trace.ideal_distribution
                 trace_cache.put(compiled, noise, calibration, trace)
         counts = run_batched(trace, trials, rng, array_backend=xb)
         return ExecutionResult(counts=counts, trials=trials,

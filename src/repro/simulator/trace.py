@@ -108,6 +108,19 @@ class CompactProgram:
             active.append(entry)
 
 
+def _build_ops(compact: CompactProgram) -> List:
+    """Unitary schedule: (cached matrix, dense qubits) per gate, or
+    ``None`` for barriers and measurements."""
+    ops: List = []
+    for gate in compact.gates:
+        if gate.name == "barrier" or gate.is_measure:
+            ops.append(None)
+        else:
+            dense = tuple(compact.hw_to_dense[q] for q in gate.qubits)
+            ops.append((cached_unitary(gate.name, gate.param), dense))
+    return ops
+
+
 class ProgramTrace:
     """Flat-array lowering of one (program, noise model) pair.
 
@@ -130,14 +143,7 @@ class ProgramTrace:
 
         # Unitary schedule: (cached matrix, dense qubits) or None for
         # barriers and measurements.
-        self.ops: List = []
-        for gate in compact.gates:
-            if gate.name == "barrier" or gate.is_measure:
-                self.ops.append(None)
-            else:
-                dense = tuple(compact.hw_to_dense[q] for q in gate.qubits)
-                self.ops.append((cached_unitary(gate.name, gate.param),
-                                 dense))
+        self.ops = _build_ops(compact)
 
         # Error-site table, in the order the per-trial sampler visits
         # sites: for each gate, its idle windows first, then the gate's
@@ -191,9 +197,25 @@ class ProgramTrace:
         for s, row in enumerate(cum_rows):
             self.site_cum[s, :len(row)] = row
 
-        # Classical-bit bookkeeping. Distinct measures may alias the
-        # same cbit (last write wins, like the per-trial engine); group
-        # measures per cbit so readout flips can chain in measure order.
+        self._index_cbits()
+
+        # Readout flip probabilities per measure, conditioned on the
+        # true measured bit.
+        self.readout_p0 = np.array(
+            [noise.readout_flip_probability(hw, 0)
+             for hw, _, _ in self.measures], dtype=np.float64)
+        self.readout_p1 = np.array(
+            [noise.readout_flip_probability(hw, 1)
+             for hw, _, _ in self.measures], dtype=np.float64)
+
+        self._strings: Dict[int, str] = {}
+        self._outcome_strings: Dict[int, str] = {}
+
+    def _index_cbits(self) -> None:
+        """Classical-bit bookkeeping. Distinct measures may alias the
+        same cbit (last write wins, like the per-trial engine); group
+        measures per cbit so readout flips can chain in measure order.
+        """
         self.measured_cbits: List[int] = []
         self.measures_for_cbit: List[List[int]] = []
         cbit_to_slot: Dict[int, int] = {}
@@ -207,17 +229,153 @@ class ProgramTrace:
         self.last_measure_for_cbit = [ms[-1]
                                       for ms in self.measures_for_cbit]
 
-        # Readout flip probabilities per measure, conditioned on the
-        # true measured bit.
-        self.readout_p0 = np.array(
-            [noise.readout_flip_probability(hw, 0)
-             for hw, _, _ in self.measures], dtype=np.float64)
-        self.readout_p1 = np.array(
-            [noise.readout_flip_probability(hw, 1)
-             for hw, _, _ in self.measures], dtype=np.float64)
+    # ------------------------------------------------------------------
+    # Compact serialization (the sweep runtime's disk trace tier).
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Flatten the trace into plain numpy arrays (npz-serializable).
 
-        self._strings: Dict[int, str] = {}
-        self._outcome_strings: Dict[int, str] = {}
+        Everything a fresh process needs to rebuild the trace without
+        re-lowering is captured: the physical gate/time table (from
+        which :class:`CompactProgram` and the unitary schedule are
+        reconstructed — unitaries themselves live in the process-wide
+        :func:`cached_unitary` cache, not the file), the error-site
+        table, readout flip probabilities, and — only if already
+        computed — the ideal output distribution, whose dense
+        statevector simulation is the expensive part of lowering. No
+        object arrays: the format round-trips with
+        ``np.load(allow_pickle=False)``.
+        """
+        compact = self.compact
+        gates = compact.gates
+        arity = max((len(g.qubits) for g in gates), default=1)
+        gate_qubits = np.full((len(gates), arity), -1, dtype=np.int64)
+        for i, g in enumerate(gates):
+            gate_qubits[i, :len(g.qubits)] = g.qubits
+        site_pair = np.full((self.n_sites, 2), -1, dtype=np.int64)
+        for s, choices in enumerate(self.site_events):
+            # Single-qubit sites carry 3 one-event choices on one dense
+            # qubit; two-qubit sites the 15 non-identity Pauli pairs,
+            # the last of which is (da, "z"), (db, "z").
+            if len(choices) == len(_PAULIS_1Q):
+                site_pair[s, 0] = choices[0][0][0]
+            else:
+                site_pair[s, 0] = choices[-1][0][0]
+                site_pair[s, 1] = choices[-1][1][0]
+        # The physical register size is not retained by CompactProgram
+        # (it keeps only used qubits); any size covering the gate
+        # indices rebuilds an equivalent compact program.
+        n_hw = max((q for g in gates for q in g.qubits), default=0) + 1
+        data: Dict[str, np.ndarray] = {
+            "circuit_shape": np.array([n_hw, compact.n_cbits],
+                                      dtype=np.int64),
+            "gate_names": np.array([g.name for g in gates]),
+            "gate_qubits": gate_qubits,
+            "gate_params": np.array(
+                [np.nan if g.param is None else g.param for g in gates],
+                dtype=np.float64),
+            "gate_cbits": np.array(
+                [-1 if g.cbit is None else g.cbit for g in gates],
+                dtype=np.int64),
+            "gate_times": np.asarray(compact.times, dtype=np.float64
+                                     ).reshape(len(gates), 2),
+            "concurrent": np.asarray(compact.concurrent_neighbors,
+                                     dtype=np.int64),
+            "site_gate": self.site_gate,
+            "site_prob": self.site_prob,
+            "site_cum": self.site_cum,
+            "site_pair": site_pair,
+            "readout_p0": self.readout_p0,
+            "readout_p1": self.readout_p1,
+        }
+        if "_ideal" in self.__dict__:
+            codes, probs, distribution = self._ideal
+            data["ideal_codes"] = np.asarray(codes, dtype=np.int64)
+            data["ideal_probs"] = np.asarray(probs, dtype=np.float64)
+            data["ideal_strings"] = np.array(list(distribution.keys()))
+            data["ideal_values"] = np.array(list(distribution.values()),
+                                            dtype=np.float64)
+        return data
+
+    @classmethod
+    def from_arrays(cls, data: Dict[str, np.ndarray]) -> "ProgramTrace":
+        """Rebuild a trace from :meth:`to_arrays` output.
+
+        The result is functionally identical to the originally lowered
+        trace: same arrays, same unitary schedule (re-fetched from the
+        unitary cache), same lazily-computable dense members. Raises on
+        malformed input (missing keys, shape mismatches) — the disk
+        tier treats any exception as a cache miss and re-lowers.
+        """
+        from repro.ir.circuit import Circuit
+        from repro.ir.gates import Gate
+
+        n_hw, n_cbits = (int(x) for x in data["circuit_shape"])
+        circuit = Circuit(n_hw, n_cbits=n_cbits, name="trace")
+        params = data["gate_params"]
+        cbits = data["gate_cbits"]
+        for i, name in enumerate(data["gate_names"]):
+            qubits = tuple(int(q) for q in data["gate_qubits"][i]
+                           if q >= 0)
+            param = None if np.isnan(params[i]) else float(params[i])
+            cbit = None if cbits[i] < 0 else int(cbits[i])
+            circuit.append(Gate(str(name), qubits, param=param,
+                                cbit=cbit))
+        times = [(float(s), float(d)) for s, d in data["gate_times"]]
+        compact = CompactProgram(circuit, times)
+        # The crosstalk sweep above ran without a topology; restore the
+        # counts the original lowering computed (they feed error
+        # probabilities, which are already baked into site_prob, but a
+        # consumer re-lowering from this compact should see the truth).
+        compact.concurrent_neighbors = [int(c)
+                                        for c in data["concurrent"]]
+
+        trace = object.__new__(cls)
+        trace.compact = compact
+        trace.n_qubits = compact.n_qubits
+        trace.n_cbits = compact.n_cbits
+        trace.measures = list(compact.measures)
+        trace.n_measures = len(trace.measures)
+        trace.ops = _build_ops(compact)
+        trace.site_gate = np.asarray(data["site_gate"], dtype=np.int64)
+        trace.site_prob = np.asarray(data["site_prob"], dtype=np.float64)
+        trace.site_cum = np.asarray(data["site_cum"], dtype=np.float64)
+        trace.n_sites = len(trace.site_gate)
+        site_events: List[Tuple[Tuple[DenseEvent, ...], ...]] = []
+        for da, db in data["site_pair"]:
+            da = int(da)
+            if db < 0:
+                site_events.append(
+                    tuple(((da, p),) for p in _PAULIS_1Q))
+            else:
+                db = int(db)
+                choices = []
+                for pa, pb in _PAULIS_2Q:
+                    events = []
+                    if pa != "i":
+                        events.append((da, pa))
+                    if pb != "i":
+                        events.append((db, pb))
+                    choices.append(tuple(events))
+                site_events.append(tuple(choices))
+        trace.site_events = site_events
+        trace._index_cbits()
+        trace.readout_p0 = np.asarray(data["readout_p0"],
+                                      dtype=np.float64)
+        trace.readout_p1 = np.asarray(data["readout_p1"],
+                                      dtype=np.float64)
+        trace._strings = {}
+        trace._outcome_strings = {}
+        if "ideal_codes" in data:
+            distribution = {
+                str(s): float(v)
+                for s, v in zip(data["ideal_strings"],
+                                data["ideal_values"])}
+            trace.__dict__["_ideal"] = (
+                np.asarray(data["ideal_codes"], dtype=np.int64),
+                np.asarray(data["ideal_probs"], dtype=np.float64),
+                distribution)
+        return trace
 
     # ------------------------------------------------------------------
     # Dense-basis members. These are exponential in n_qubits, so they

@@ -1,6 +1,7 @@
 """Finite-domain constraint optimization (the repo's SMT-solver substrate)."""
 
-from repro.solver.bnb import BranchAndBoundSolver, SolveResult
+from repro.solver.bnb import BranchAndBoundSolver, SolveResult, SolverStats
+from repro.solver.bounds import AssignmentMatrices, compile_assignment
 from repro.solver.constraints import (
     AllDifferent,
     BinaryPredicate,
@@ -20,6 +21,9 @@ from repro.solver.objective import (
 __all__ = [
     "AllDifferent",
     "Assignment",
+    "AssignmentMatrices",
+    "compile_assignment",
+    "SolverStats",
     "BinaryPredicate",
     "BranchAndBoundSolver",
     "CallableObjective",

@@ -1,0 +1,1048 @@
+"""Vectorized cost matrices and bounds for assignment-shaped models.
+
+The paper's R-SMT* formulation is an *assignment problem*: one
+``AllDifferent`` over every variable plus a :class:`SumObjective` of
+unary/pair terms (Eq. 12's readout and CNOT log-reliabilities). For that
+shape the branch-and-bound engine does not need per-value Python probes:
+the whole objective compiles into an ``(n, H)`` unary matrix and a
+``(T, H, H)`` pair tensor, and every admissible bound the search needs —
+node bounds, all child bounds of the branching variable, forward-check
+wipeouts — becomes a handful of masked numpy reductions.
+
+:func:`compile_assignment` detects the shape (returning ``None`` for
+anything else, which keeps the generic engine authoritative), and
+:class:`VectorSearch` runs the depth-first search over column indices.
+The search also hosts the two structural prunes this layer enables:
+
+* **root symmetry breaking** — candidate value permutations (typically
+  the topology's automorphisms) are filtered down to exact invariances
+  of the compiled matrices, and the root branching variable is
+  restricted to one representative per orbit;
+* **dominance pruning** — below the root, a candidate value is skipped
+  when a cheaper *interchangeable* value (identical row/column in every
+  cost matrix) is still free.
+
+All comparisons are exact (no epsilon): the returned assignment is the
+first leaf in canonical exploration order attaining the float maximum,
+independent of the incumbent trajectory. That property is what lets the
+portfolio solver (:mod:`repro.solver.portfolio`) split the root across
+processes and still merge to the bit-identical serial answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.solver.constraints import AllDifferent
+from repro.solver.model import Model
+from repro.solver.objective import PairTerm, SumObjective, UnaryTerm
+
+_NEG_INF = -np.inf
+
+#: Finite stand-in for -inf in factored bounds (0 * -inf is NaN; a
+#: pair with a zero base coefficient must contribute zero instead).
+_BIG_NEG = -1e300
+
+#: How often (in nodes) a portfolio worker polls for a foreign incumbent.
+FLOOR_POLL_NODES = 1024
+
+
+@dataclass
+class AssignmentMatrices:
+    """Compiled cost structure of an assignment model.
+
+    Attributes:
+        var_names: Variable names in model (branching-preference) order.
+        values: Sorted union of all domain values; column ``c`` of every
+            matrix corresponds to raw value ``values[c]``.
+        domain_mask: ``(n, H)`` bool — value ``c`` allowed for var ``i``.
+        unary: ``(n, H)`` float — summed unary scores, ``-inf`` outside
+            the variable's domain.
+        pair_vars: One ``(i, j)`` (``i < j``, variable indices) per pair
+            tensor slice.
+        pair_tensor: ``(T, H, H)`` float — entry ``[t, a, b]`` is the
+            summed score of pair ``t`` with var ``i`` at column ``a``
+            and var ``j`` at column ``b``. The diagonal and any
+            combination outside the two domains is ``-inf`` (equal
+            values are impossible under the AllDifferent).
+        pair_base / pair_x / pair_y / pair_slack: Optional scaled-base
+            factorization of the pair tensor (see
+            :func:`_factor_pair_tensor`): every slice satisfies
+            ``pair_tensor[t] <= pair_x[t] * B + pair_y[t] * B.T +
+            pair_slack[t]`` elementwise with near-zero slack. Present
+            whenever the slices share one underlying score matrix up to
+            per-pair direction weights — the shape of every Eq.-12
+            model, where each slice is ``count_fwd * L + count_rev *
+            L.T`` for the device's CNOT log-reliability table ``L``.
+            The search then derives all T row/column maxima from the
+            ``H x H`` base instead of masking the full ``T x H x H``
+            tensor at every node.
+    """
+
+    var_names: List[str]
+    values: np.ndarray
+    domain_mask: np.ndarray
+    unary: np.ndarray
+    pair_vars: List[Tuple[int, int]]
+    pair_tensor: np.ndarray
+    pair_base: Optional[np.ndarray] = None
+    pair_x: Optional[np.ndarray] = None
+    pair_y: Optional[np.ndarray] = None
+    pair_slack: Optional[np.ndarray] = None
+
+    @property
+    def n_vars(self) -> int:
+        return len(self.var_names)
+
+    @property
+    def n_cols(self) -> int:
+        return int(self.values.shape[0])
+
+    # ------------------------------------------------------------------
+    def column_permutations(
+            self, perms: Sequence[Sequence[int]]) -> List[np.ndarray]:
+        """Convert raw-value permutations to exact invariances.
+
+        Each candidate permutation (over raw values, e.g. a topology
+        automorphism over hardware-qubit ids) is translated to column
+        space and kept only if permuting every cost matrix by it leaves
+        them bit-for-bit unchanged. The result is therefore a subgroup
+        of the candidates — safe for orbit-based symmetry breaking even
+        if the caller guessed wrong.
+        """
+        col_of = {int(v): c for c, v in enumerate(self.values)}
+        out: List[np.ndarray] = []
+        for perm in perms:
+            table = list(perm)
+            cols = np.empty(self.n_cols, dtype=np.intp)
+            ok = True
+            for c, value in enumerate(self.values):
+                v = int(value)
+                if v >= len(table) or v < 0:
+                    ok = False
+                    break
+                image = table[v]
+                if image not in col_of:
+                    ok = False
+                    break
+                cols[c] = col_of[image]
+            if not ok:
+                continue
+            if not np.array_equal(self.domain_mask[:, cols],
+                                  self.domain_mask):
+                continue
+            if not np.array_equal(self.unary[:, cols], self.unary):
+                continue
+            permuted = self.pair_tensor[:, cols][:, :, cols]
+            if not np.array_equal(permuted, self.pair_tensor):
+                continue
+            out.append(cols)
+        return out
+
+    def orbit_minima(self, col_perms: Sequence[np.ndarray]) -> np.ndarray:
+        """``(H,)`` bool — columns minimal in their orbit under the
+        group *generated* by ``col_perms``.
+
+        Permutation cycles make forward reachability symmetric, so
+        sweeping ``minima[c] = min(minima[c], minima[perm[c]])`` to a
+        fixpoint propagates each orbit's minimum everywhere.
+        """
+        minima = np.arange(self.n_cols)
+        changed = True
+        while changed:
+            changed = False
+            for cols in col_perms:
+                merged = np.minimum(minima, minima[cols])
+                if not np.array_equal(merged, minima):
+                    minima = merged
+                    changed = True
+        return minima == np.arange(self.n_cols)
+
+    def group_closure(self, col_perms: Sequence[np.ndarray],
+                      cap: int = 64) -> List[np.ndarray]:
+        """Close a generator set under composition (capped for safety)."""
+        identity = tuple(range(self.n_cols))
+        group = {identity}
+        frontier = [tuple(int(x) for x in p) for p in col_perms]
+        while frontier and len(group) < cap:
+            p = frontier.pop()
+            if p in group:
+                continue
+            group.add(p)
+            arr = np.array(p, dtype=np.intp)
+            for q in list(group):
+                qarr = np.array(q, dtype=np.intp)
+                frontier.append(tuple(int(x) for x in arr[qarr]))
+                frontier.append(tuple(int(x) for x in qarr[arr]))
+        return [np.array(p, dtype=np.intp) for p in sorted(group)]
+
+    def canonicalize(self, cols: np.ndarray,
+                     col_perms: Sequence[np.ndarray],
+                     root_var: int) -> np.ndarray:
+        """Map an assignment into the symmetry-broken fundamental domain.
+
+        Applies the group element that sends ``cols[root_var]`` to its
+        orbit minimum; the permuted assignment has the identical
+        objective value (the permutations are exact invariances). If
+        the generated group overflows the safety cap the assignment is
+        returned unchanged — the root restriction stays sound either
+        way, the warm start just seeds from outside the canonical cone.
+        """
+        if not col_perms:
+            return cols
+        best = cols
+        best_root = int(cols[root_var])
+        for arr in self.group_closure(col_perms):
+            mapped = arr[cols]
+            root = int(mapped[root_var])
+            if root < best_root:
+                best_root = root
+                best = mapped
+        return best
+
+    def interchangeable_minima(self) -> np.ndarray:
+        """``class_min[c]`` — smallest column fully interchangeable with
+        ``c`` (identical unary column, domain column, and pair
+        rows/columns up to the ``c1<->c2`` swap)."""
+        H = self.n_cols
+        class_min = np.arange(H)
+        # Cheap signature first: columns can only match if their unary
+        # and domain columns agree exactly.
+        sig: Dict[bytes, List[int]] = {}
+        for c in range(H):
+            key = (self.unary[:, c].tobytes()
+                   + self.domain_mask[:, c].tobytes())
+            sig.setdefault(key, []).append(c)
+        PT = self.pair_tensor
+        for cols in sig.values():
+            for idx, c2 in enumerate(cols):
+                for c1 in cols[:idx]:
+                    if class_min[c1] != c1:
+                        continue
+                    if self._interchangeable(PT, c1, c2):
+                        class_min[c2] = c1
+                        break
+        return class_min
+
+    @staticmethod
+    def _interchangeable(PT: np.ndarray, c1: int, c2: int) -> bool:
+        if PT.shape[0] == 0:
+            return True
+        others = np.ones(PT.shape[1], dtype=bool)
+        others[[c1, c2]] = False
+        if not np.array_equal(PT[:, c1, :][:, others],
+                              PT[:, c2, :][:, others]):
+            return False
+        if not np.array_equal(PT[:, :, c1][:, others],
+                              PT[:, :, c2][:, others]):
+            return False
+        return np.array_equal(PT[:, c1, c2], PT[:, c2, c1])
+
+
+def compile_assignment(model: Model) -> Optional[AssignmentMatrices]:
+    """Compile *model* to matrices, or ``None`` if it isn't assignment-shaped.
+
+    The required shape: a :class:`SumObjective` of unary/pair terms and
+    exactly one :class:`AllDifferent` constraint covering every
+    variable (the paper's Constraints 1-2 + Eq. 12). Anything else —
+    callable objectives, extra constraints, satisfaction-only models —
+    stays on the generic engine.
+    """
+    if not isinstance(model.objective, SumObjective):
+        return None
+    if len(model.constraints) != 1:
+        return None
+    alldiff = model.constraints[0]
+    if type(alldiff) is not AllDifferent:
+        return None
+    names = [v.name for v in model.variables]
+    if set(alldiff.scope) != set(names) or len(alldiff.scope) != len(names):
+        return None
+    index = {name: i for i, name in enumerate(names)}
+
+    values = np.array(sorted({v for var in model.variables
+                              for v in var.domain}), dtype=np.int64)
+    col_of = {int(v): c for c, v in enumerate(values)}
+    n, H = len(names), len(values)
+    domain_mask = np.zeros((n, H), dtype=bool)
+    for i, var in enumerate(model.variables):
+        for v in var.domain:
+            domain_mask[i, col_of[v]] = True
+
+    unary = np.where(domain_mask, 0.0, _NEG_INF)
+    pair_slices: Dict[Tuple[int, int], np.ndarray] = {}
+    for term in model.objective.terms:
+        if isinstance(term, UnaryTerm):
+            i = index.get(term.scope[0])
+            if i is None:
+                return None
+            scores = _unary_scores(term, values, domain_mask[i])
+            unary[i] += np.where(domain_mask[i], scores, 0.0)
+        elif isinstance(term, PairTerm):
+            a, b = term.scope
+            ia, ib = index.get(a), index.get(b)
+            if ia is None or ib is None or ia == ib:
+                return None
+            mat = _pair_scores(term, values, domain_mask[ia],
+                               domain_mask[ib])
+            if ia > ib:
+                ia, ib = ib, ia
+                mat = mat.T
+            key = (ia, ib)
+            if key in pair_slices:
+                pair_slices[key] = pair_slices[key] + np.where(
+                    np.isfinite(mat), mat, 0.0)
+            else:
+                pair_slices[key] = mat
+        else:
+            return None
+
+    pair_vars = sorted(pair_slices)
+    if pair_vars:
+        pair_tensor = np.stack([pair_slices[k] for k in pair_vars])
+    else:
+        pair_tensor = np.empty((0, H, H))
+    factored = _factor_pair_tensor(pair_tensor)
+    base, xs, ys, slack = factored if factored is not None \
+        else (None, None, None, None)
+    return AssignmentMatrices(
+        var_names=names, values=values, domain_mask=domain_mask,
+        unary=unary, pair_vars=pair_vars, pair_tensor=pair_tensor,
+        pair_base=base, pair_x=xs, pair_y=ys, pair_slack=slack)
+
+
+def _factor_pair_tensor(PT: np.ndarray) -> Optional[Tuple[
+        np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Fit every pair slice as a nonnegative ``x*B + y*B.T`` combo.
+
+    The Eq.-12 model builds each slice from one device-wide CNOT
+    log-reliability matrix ``L``: slice ``t`` for interacting pair
+    ``(qc, qt)`` is ``count_fwd * L + count_rev * L.T`` (ordered-pair
+    counts of the two CNOT directions). The whole tensor therefore
+    lives in the two-dimensional span of any one asymmetric slice and
+    its transpose. Detecting that lets :meth:`VectorSearch._edge_maxima`
+    compute the free-set maxima of all ``T`` slices from ``H x H``
+    masked reductions of the base instead of ``T x H x H`` ones.
+
+    Safety: the returned ``(B, x, y, s)`` guarantees
+    ``PT[t] <= x[t]*B + y[t]*B.T + s[t]`` elementwise (so every bound
+    built from it stays admissible), with relative slack below 1e-9
+    (so pruning power is unchanged in practice). Returns ``None`` —
+    keeping the exact dense path — when the slices do not share the
+    structure: mismatched feasibility patterns, negative fitted
+    coefficients, or slack above the tightness threshold.
+    """
+    T = PT.shape[0]
+    if T < 2:
+        return None
+    finite = np.isfinite(PT)
+    pattern = finite[0]
+    if not np.array_equal(pattern, pattern.T):
+        return None
+    if not (finite == pattern[None]).all():
+        return None
+    if not pattern.any():
+        return None
+    # Base: the most asymmetric slice, so span{B, B.T} is as close to
+    # two-dimensional as this tensor allows (a symmetric base could
+    # never express asymmetric siblings).
+    asym = np.abs(np.where(pattern, PT, 0.0)
+                  - np.where(pattern, PT, 0.0).transpose(0, 2, 1))
+    t0 = int(np.argmax(asym.reshape(T, -1).max(axis=1)))
+    base = PT[t0]
+    flat = PT[:, pattern]
+    b1 = base[pattern]
+    b2 = base.T[pattern]
+    design = np.stack([b1, b2], axis=1)
+    coeffs, *_ = np.linalg.lstsq(design, flat.T, rcond=None)
+    xs, ys = coeffs[0], coeffs[1]
+    scale = np.abs(flat).max(axis=1)
+    tol = 1e-9 * np.maximum(scale, 1e-300)
+    if (xs < -tol).any() or (ys < -tol).any():
+        return None
+    xs = np.maximum(xs, 0.0)
+    ys = np.maximum(ys, 0.0)
+    diff = flat - (xs[:, None] * b1[None, :] + ys[:, None] * b2[None, :])
+    if (np.abs(diff).max(axis=1) > tol).any():
+        return None
+    slack = np.maximum(diff.max(axis=1), 0.0)
+    return base, xs, ys, slack
+
+
+def _dense_applies(table: Optional[np.ndarray],
+                   values: np.ndarray) -> bool:
+    return (table is not None and int(values.min()) >= 0
+            and table.shape[0] > int(values.max()))
+
+
+def _unary_scores(term: UnaryTerm, values: np.ndarray,
+                  mask: np.ndarray) -> np.ndarray:
+    vector = term.dense_vector()
+    if vector is not None:
+        vec = np.asarray(vector, dtype=float)
+        if _dense_applies(vec, values):
+            return vec[values]
+    out = np.zeros(len(values))
+    for c, v in enumerate(values):
+        if mask[c]:
+            out[c] = term._score(int(v))
+    return out
+
+
+def _pair_scores(term: PairTerm, values: np.ndarray,
+                 mask_a: np.ndarray, mask_b: np.ndarray) -> np.ndarray:
+    H = len(values)
+    region = np.logical_and.outer(mask_a, mask_b)
+    np.fill_diagonal(region, False)
+    matrix = term.dense_matrix()
+    if matrix is not None:
+        dense = np.asarray(matrix, dtype=float)
+        if _dense_applies(dense, values) and dense.shape[1] > int(values.max()):
+            sliced = dense[np.ix_(values, values)]
+            return np.where(region, sliced, _NEG_INF)
+    out = np.full((H, H), _NEG_INF)
+    rows = np.where(mask_a)[0]
+    cols = np.where(mask_b)[0]
+    for a in rows:
+        va = int(values[a])
+        for b in cols:
+            if a == b:
+                continue
+            out[a, b] = term._score(va, int(values[b]))
+    return out
+
+
+class _TimeUp(Exception):
+    """Internal: the time or node budget interrupted the search."""
+
+
+class VectorSearch:
+    """Depth-first branch-and-bound over compiled assignment matrices.
+
+    The search maximizes; all incumbent comparisons are exact. ``floor``
+    is a *foreign* incumbent value (from a portfolio sibling): subtrees
+    that cannot reach it are pruned (``bound < floor``), but leaves
+    *equal* to it are still recorded — that asymmetry is what makes the
+    portfolio merge reproduce the serial answer bit-for-bit.
+    """
+
+    def __init__(self, mats: AssignmentMatrices,
+                 time_limit: Optional[float] = None,
+                 node_limit: Optional[int] = None,
+                 first_solution_only: bool = False,
+                 start: Optional[float] = None,
+                 floor_poll=None) -> None:
+        self.m = mats
+        self.time_limit = time_limit
+        self.node_limit = node_limit
+        self.first_solution_only = first_solution_only
+        self.start = time.perf_counter() if start is None else start
+        self.floor_poll = floor_poll
+        self.floor = _NEG_INF
+        self.best_cols: Optional[np.ndarray] = None
+        self.best_value = _NEG_INF
+        self.best_rank: Optional[int] = None
+        self.current_rank: Optional[int] = None
+        self.nodes = 0
+        self.prunes = 0
+        self.incumbents = 0
+        self.truncated = False
+        self.symmetry_cols: List[np.ndarray] = []
+        self.root_minima: Optional[np.ndarray] = None
+        self.class_min: Optional[np.ndarray] = None
+        self._pair_i = np.array([i for i, _ in mats.pair_vars], dtype=np.intp)
+        self._pair_j = np.array([j for _, j in mats.pair_vars], dtype=np.intp)
+        self._buf: Optional[np.ndarray] = None  # dense-path scratch
+        self._fact = mats.pair_base is not None and len(self._pair_i) > 0
+        if self._fact:
+            # Factored fast path: per-pair bookkeeping lives in plain
+            # Python containers — at mapping sizes (H <= 36, T <= ~60)
+            # scalar loops over a variable's incident pairs beat numpy's
+            # per-call overhead by an order of magnitude, and numpy is
+            # kept for the H-sized vector arithmetic only.
+            T = len(self._pair_i)
+            self._stl = [0] * T  # bit 0: var i assigned; bit 1: var j
+            self._incl_i = [np.where(self._pair_i == v)[0].tolist()
+                            for v in range(mats.n_vars)]
+            self._incl_j = [np.where(self._pair_j == v)[0].tolist()
+                            for v in range(mats.n_vars)]
+            self._xl = mats.pair_x.tolist()
+            self._yl = mats.pair_y.tolist()
+            self._sl = mats.pair_slack.tolist()
+            self._pil = self._pair_i.tolist()
+            self._pjl = self._pair_j.tolist()
+            self._PTl = mats.pair_tensor.tolist()
+            self._unary_l = mats.unary.tolist()
+            self._asg = [-1] * mats.n_vars  # mirror of ``assigned``
+            # Bound aggregates over pair categories, maintained by
+            # _fact_push/_fact_pop with exact (saved-value) restoration
+            # so the state at a node is a pure function of the
+            # assignment path — the portfolio's bit-identity with the
+            # serial engine depends on that:
+            # * ``_wp[c]``/``_wq[c]``: coefficient mass multiplying
+            #   ``P[c]``/``Q[c]`` for half-assigned pairs whose fixed
+            #   endpoint sits at column ``c``;
+            # * ``_s_half``: slack mass of half-assigned pairs;
+            # * ``_xf``/``_yf``/``_sf``: coefficient mass of fully
+            #   unassigned pairs.
+            self._wp = [0.0] * mats.n_cols
+            self._wq = [0.0] * mats.n_cols
+            self._s_half = 0.0
+            self._xf = float(mats.pair_x.sum())
+            self._yf = float(mats.pair_y.sum())
+            self._sf = float(mats.pair_slack.sum())
+
+    # ------------------------------------------------------------------
+    def enable_symmetry(self, perms: Sequence[Sequence[int]]) -> None:
+        """Install root orbit restriction from candidate value perms."""
+        self.symmetry_cols = self.m.column_permutations(perms)
+        if self.symmetry_cols:
+            self.root_minima = self.m.orbit_minima(self.symmetry_cols)
+
+    def enable_dominance(self) -> None:
+        self.class_min = self.m.interchangeable_minima()
+
+    def seed(self, cols: np.ndarray, value: float) -> None:
+        """Warm-start incumbent (already canonicalized by the caller)."""
+        self.best_cols = np.asarray(cols, dtype=np.intp).copy()
+        self.best_value = float(value)
+        self.incumbents += 1
+
+    def root_var(self) -> int:
+        """The variable branched at the root (deterministic)."""
+        counts = self.m.domain_mask.sum(axis=1)
+        return int(np.argmin(counts))
+
+    def root_candidates(self) -> np.ndarray:
+        """Root candidate columns in canonical exploration order.
+
+        Applies the symmetry orbit restriction, then orders by child
+        bound descending with column-ascending tie-break — the shared
+        plan both the serial search and the portfolio partition use.
+        """
+        assigned = np.full(self.m.n_vars, -1, dtype=np.intp)
+        free = np.ones(self.m.n_cols, dtype=bool)
+        sel = self.root_var()
+        root_avail = self.m.domain_mask[sel] & free
+        if self.root_minima is not None:
+            root_avail = root_avail & self.root_minima
+        cand = np.where(root_avail)[0]
+        if len(cand) <= 1:
+            return cand
+        if self._fact:
+            # Same bound arithmetic as _node, so the plan's candidate
+            # order is bit-identical to the serial first-visit order.
+            unassigned = np.where(assigned < 0)[0]
+            avail = self.m.domain_mask[unassigned] & free
+            sel_pos = int(np.where(unassigned == sel)[0][0])
+            bounds = self._child_bounds_factored(
+                sel, sel_pos, unassigned, avail, assigned, free, 0.0)
+        else:
+            RM, CM = self._edge_maxima(free)
+            bounds = self._child_bounds(sel, assigned, free, 0.0, RM, CM)
+        order = np.argsort(-bounds[cand], kind="stable")
+        return cand[order]
+
+    def prefix_tasks(self, depth: int = 2) -> List[Tuple[int, ...]]:
+        """Canonical-order subtree prefixes for portfolio splitting.
+
+        Depth-1 prefixes are the root candidates; depth-2 expands each
+        root candidate into its second-level candidates — computed with
+        the same branching, dominance, and bound-ordering rules the
+        search itself applies, all of which are incumbent-independent,
+        so the lexicographic prefix order equals the serial search's
+        first-visit order. The finer grain is what lets the portfolio
+        balance wildly uneven root children. A root candidate whose
+        child node wipes out (some variable loses its whole domain) is
+        dropped: that subtree has no leaves for any engine to find.
+        """
+        root_cols = self.root_candidates()
+        if depth <= 1 or self.m.n_vars < 2:
+            return [(int(c),) for c in root_cols]
+        out: List[Tuple[int, ...]] = []
+        assigned = np.full(self.m.n_vars, -1, dtype=np.intp)
+        free = np.ones(self.m.n_cols, dtype=bool)
+        root = self.root_var()
+        for c0 in root_cols:
+            for c1 in self._plan_children(root, int(c0), assigned, free):
+                out.append((int(c0), int(c1)))
+        return out
+
+    def _plan_children(self, var: int, col: int, assigned: np.ndarray,
+                       free: np.ndarray) -> List[int]:
+        """Second-level candidates of child ``var := col``, in the exact
+        order :meth:`_node` would explore them (minus incumbent-driven
+        skips, which drop entries without reordering survivors)."""
+        token = None
+        if self._fact:
+            _, token = self._fact_push(var, col)
+        assigned[var] = col
+        free[col] = False
+        try:
+            unassigned = np.where(assigned < 0)[0]
+            avail = self.m.domain_mask[unassigned] & free
+            counts = avail.sum(axis=1)
+            if counts.min() == 0:
+                return []
+            sel_pos = int(np.argmin(counts))
+            sel = int(unassigned[sel_pos])
+            if self._fact:
+                bounds = self._child_bounds_factored(
+                    sel, sel_pos, unassigned, avail, assigned, free, 0.0)
+            else:
+                RM, CM = self._edge_maxima(free)
+                bounds = self._child_bounds(sel, assigned, free, 0.0,
+                                            RM, CM)
+            cand = np.where(avail[sel_pos])[0]
+            if self.class_min is not None and len(cand) > 1:
+                twin = self.class_min[cand]
+                cand = cand[(twin == cand) | ~free[twin]]
+            order = np.argsort(-bounds[cand], kind="stable")
+            return [int(c) for c in cand[order]]
+        finally:
+            assigned[var] = -1
+            free[col] = True
+            if token is not None:
+                self._fact_pop(var, token)
+
+    def run(self, root_cols: Optional[Sequence] = None,
+            rank_base: int = 0) -> bool:
+        """Search; returns False when the budget interrupted it.
+
+        Args:
+            root_cols: Explicit subtree list (already in exploration
+                order): bare columns or prefix tuples from
+                :meth:`prefix_tasks`. When ``None`` the canonical root
+                plan is used.
+            rank_base: Global rank of ``root_cols[0]`` (for portfolio
+                tie-break bookkeeping).
+        """
+        if root_cols is None:
+            root_cols = self.root_candidates()
+        assigned = np.full(self.m.n_vars, -1, dtype=np.intp)
+        free = np.ones(self.m.n_cols, dtype=bool)
+        sel = self.root_var()
+        try:
+            for offset, item in enumerate(root_cols):
+                self.current_rank = rank_base + offset
+                path = ((int(item),) if np.ndim(item) == 0
+                        else tuple(int(c) for c in item))
+                self._descend(sel, path[0], assigned, free, 0.0, path[1:])
+                if self.best_cols is not None and self.first_solution_only:
+                    break
+            return True
+        except _TimeUp:
+            return False
+
+    def _branch_var(self, assigned: np.ndarray,
+                    free: np.ndarray) -> Optional[int]:
+        """The node's branching variable (``None`` on leaf/wipeout) —
+        the same rule :meth:`_node` applies."""
+        unassigned = np.where(assigned < 0)[0]
+        if len(unassigned) == 0:
+            return None
+        avail = self.m.domain_mask[unassigned] & free
+        counts = avail.sum(axis=1)
+        if counts.min() == 0:
+            return None
+        return int(unassigned[int(np.argmin(counts))])
+
+    # ------------------------------------------------------------------
+    def _fact_push(self, var: int, col: int) -> Tuple[float, tuple]:
+        """Commit ``var := col`` into the factored bookkeeping.
+
+        Returns the objective delta of the assignment plus an opaque
+        token for :meth:`_fact_pop`. Aggregate restoration is by saved
+        value, not inverse arithmetic — floating-point ``(w + a) - a``
+        need not equal ``w``, and the portfolio's bit-identity with the
+        serial engine requires the state at a node to depend only on
+        the assignment path, never on sibling subtrees explored before
+        it.
+        """
+        stl, asg = self._stl, self._asg
+        xl, yl, sl = self._xl, self._yl, self._sl
+        pil, pjl, PTl = self._pil, self._pjl, self._PTl
+        wp, wq = self._wp, self._wq
+        saved = (self._xf, self._yf, self._sf, self._s_half)
+        xf, yf, sf, s_half = saved
+        touched: List[Tuple[int, float, float]] = []
+        delta = self._unary_l[var][col]
+        for t in self._incl_i[var]:
+            s0 = stl[t]
+            if s0 == 2:  # completing: partner j already placed
+                b = asg[pjl[t]]
+                delta += PTl[t][col][b]
+                touched.append((b, wp[b], wq[b]))
+                wp[b] -= yl[t]
+                wq[b] -= xl[t]
+                s_half -= sl[t]
+            else:  # both free -> half-assigned with i at col
+                xf -= xl[t]
+                yf -= yl[t]
+                sf -= sl[t]
+                touched.append((col, wp[col], wq[col]))
+                wp[col] += xl[t]
+                wq[col] += yl[t]
+                s_half += sl[t]
+            stl[t] = s0 | 1
+        for t in self._incl_j[var]:
+            s0 = stl[t]
+            if s0 == 1:
+                a = asg[pil[t]]
+                delta += PTl[t][a][col]
+                touched.append((a, wp[a], wq[a]))
+                wp[a] -= xl[t]
+                wq[a] -= yl[t]
+                s_half -= sl[t]
+            else:
+                xf -= xl[t]
+                yf -= yl[t]
+                sf -= sl[t]
+                touched.append((col, wp[col], wq[col]))
+                wp[col] += yl[t]
+                wq[col] += xl[t]
+                s_half += sl[t]
+            stl[t] = s0 | 2
+        self._xf, self._yf, self._sf, self._s_half = xf, yf, sf, s_half
+        asg[var] = col
+        return delta, (saved, touched)
+
+    def _fact_pop(self, var: int, token: tuple) -> None:
+        """Exact-restore the factored bookkeeping of one assignment."""
+        saved, touched = token
+        stl, wp, wq = self._stl, self._wp, self._wq
+        for t in self._incl_i[var]:
+            stl[t] &= ~1
+        for t in self._incl_j[var]:
+            stl[t] &= ~2
+        for idx, old_wp, old_wq in reversed(touched):
+            wp[idx] = old_wp
+            wq[idx] = old_wq
+        self._xf, self._yf, self._sf, self._s_half = saved
+        self._asg[var] = -1
+
+    def _descend(self, var: int, col: int, assigned: np.ndarray,
+                 free: np.ndarray, fixed: float,
+                 tail: Tuple[int, ...] = ()) -> None:
+        """Assign ``var := col``; expand the child node, or follow the
+        remaining prefix ``tail`` first (portfolio subtree entry)."""
+        token = None
+        if self._fact:
+            delta, token = self._fact_push(var, col)
+        else:
+            delta = float(self.m.unary[var, col])
+            PT, pi, pj = self.m.pair_tensor, self._pair_i, self._pair_j
+            if len(pi):
+                t_i = np.where((pi == var) & (assigned[pj] >= 0))[0]
+                if len(t_i):
+                    delta += float(PT[t_i, col, assigned[pj[t_i]]].sum())
+                t_j = np.where((pj == var) & (assigned[pi] >= 0))[0]
+                if len(t_j):
+                    delta += float(PT[t_j, assigned[pi[t_j]], col].sum())
+        assigned[var] = col
+        free[col] = False
+        if tail:
+            nxt = self._branch_var(assigned, free)
+            if nxt is not None:
+                self._descend(nxt, tail[0], assigned, free, fixed + delta,
+                              tail[1:])
+        else:
+            self._node(assigned, free, fixed + delta)
+        assigned[var] = -1
+        free[col] = True
+        if token is not None:
+            self._fact_pop(var, token)
+
+    def _node(self, assigned: np.ndarray, free: np.ndarray,
+              fixed: float) -> None:
+        self._tick()
+        unassigned = np.where(assigned < 0)[0]
+        if len(unassigned) == 0:
+            if fixed >= self.floor and fixed > self.best_value:
+                self.best_value = fixed
+                self.best_cols = assigned.copy()
+                self.best_rank = self.current_rank
+                self.incumbents += 1
+            return
+        avail = self.m.domain_mask[unassigned] & free
+        counts = avail.sum(axis=1)
+        if counts.min() == 0:
+            return
+        sel_pos = int(np.argmin(counts))
+        sel = int(unassigned[sel_pos])
+        if self._fact:
+            # Factored fast path: per-candidate bounds via aggregated
+            # base maxima; the child-level prune below subsumes the
+            # node-level one (the node bound dominates every child
+            # bound, so a prunable node has no live candidates).
+            bounds = self._child_bounds_factored(
+                sel, sel_pos, unassigned, avail, assigned, free, fixed)
+        else:
+            RM, CM = self._edge_maxima(free)
+            bound = self._node_bound(assigned, free, fixed, unassigned,
+                                     avail, RM, CM)
+            if bound < self.floor or (self.best_cols is not None
+                                      and bound <= self.best_value):
+                self.prunes += 1
+                return
+            bounds = self._child_bounds(sel, assigned, free, fixed, RM, CM)
+        cand = np.where(avail[sel_pos])[0]
+        if self.class_min is not None and len(cand) > 1:
+            # Dominance: skip a value whose smaller interchangeable
+            # twin is still free (swapping them preserves the value).
+            twin = self.class_min[cand]
+            cand = cand[(twin == cand) | ~free[twin]]
+        cb = bounds[cand]
+        live = cb >= self.floor
+        if self.best_cols is not None:
+            live &= cb > self.best_value
+        self.prunes += int(len(cand) - int(live.sum()))
+        cand, cb = cand[live], cb[live]
+        order = np.argsort(-cb, kind="stable")
+        for k in order:
+            col = int(cand[k])
+            if cb[k] < self.floor or (self.best_cols is not None
+                                      and cb[k] <= self.best_value):
+                self.prunes += 1
+                continue
+            self._descend(sel, col, assigned, free, fixed)
+            if self.best_cols is not None and self.first_solution_only:
+                return
+
+    # ------------------------------------------------------------------
+    def _edge_maxima(self, free: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Row/column maxima of every pair slice over free columns/rows.
+
+        ``RM[t, a]`` bounds pair ``t`` when var *i* sits at column *a*
+        and var *j* is anywhere free (the -inf diagonal excludes the
+        collision); ``CM[t, b]`` is the mirror for a fixed *j*.
+
+        With a factored tensor (``pair_base`` set) both come from two
+        ``H x H`` masked reductions of the base instead of two
+        ``T x H x H`` ones: for slice ``t <= x*B + y*B.T + s``,
+        ``max_j(B[a, j])`` over free *j* is ``P[a]`` and
+        ``max_j(B.T[a, j]) = max_j(B[j, a])`` over free *j* is ``Q[a]``,
+        so ``RM[t] <= x*P + y*Q + s`` (and ``CM[t] <= x*Q + y*P + s``
+        by the mirror argument) — still admissible, and exact whenever
+        the factorization slack is zero.
+        """
+        m = self.m
+        PT = m.pair_tensor
+        if PT.shape[0] == 0:
+            empty = np.empty((0, m.n_cols))
+            return empty, empty
+        if m.pair_base is not None:
+            P = np.where(free, m.pair_base, _NEG_INF).max(axis=1)
+            Q = np.where(free[:, None], m.pair_base, _NEG_INF).max(axis=0)
+            xs, ys, s = m.pair_x, m.pair_y, m.pair_slack
+            with np.errstate(invalid="ignore"):
+                RM = xs[:, None] * P + ys[:, None] * Q + s[:, None]
+                CM = xs[:, None] * Q + ys[:, None] * P + s[:, None]
+            # 0 * -inf is NaN; it only arises where P (equivalently Q —
+            # the feasibility pattern is symmetric) is -inf, i.e. no
+            # feasible free partner at all: the true maxima are -inf.
+            dead = np.isneginf(P)
+            if dead.any():
+                RM[:, dead] = _NEG_INF
+                CM[:, dead] = _NEG_INF
+            return RM, CM
+        if self._buf is None:
+            self._buf = np.empty_like(PT)
+        buf = self._buf
+        np.copyto(buf, PT)
+        buf[:, :, ~free] = _NEG_INF
+        RM = buf.max(axis=2)
+        np.copyto(buf, PT)
+        buf[:, ~free, :] = _NEG_INF
+        CM = buf.max(axis=1)
+        return RM, CM
+
+    def _node_bound(self, assigned: np.ndarray, free: np.ndarray,
+                    fixed: float, unassigned: np.ndarray,
+                    avail: np.ndarray, RM: np.ndarray,
+                    CM: np.ndarray) -> float:
+        bound = fixed + float(np.where(avail, self.m.unary[unassigned],
+                                       _NEG_INF).max(axis=1).sum())
+        if len(self._pair_i) == 0:
+            return bound
+        ai = assigned[self._pair_i]
+        aj = assigned[self._pair_j]
+        i_only = np.where((ai >= 0) & (aj < 0))[0]
+        j_only = np.where((ai < 0) & (aj >= 0))[0]
+        both = np.where((ai < 0) & (aj < 0))[0]
+        if len(i_only):
+            bound += float(RM[i_only, ai[i_only]].sum())
+        if len(j_only):
+            bound += float(CM[j_only, aj[j_only]].sum())
+        if len(both):
+            bound += float(np.where(free, RM[both], _NEG_INF)
+                           .max(axis=1).sum())
+        return bound
+
+    def _child_bounds(self, sel: int, assigned: np.ndarray,
+                      free: np.ndarray, fixed: float, RM: np.ndarray,
+                      CM: np.ndarray) -> np.ndarray:
+        """Admissible bound for every candidate column of ``sel``.
+
+        One vectorized pass: pairs touching ``sel`` contribute exact
+        per-column vectors, everything else an optimistic constant over
+        the parent's free set (a superset of any child's — admissible).
+        """
+        m = self.m
+        bounds = fixed + m.unary[sel].astype(float, copy=True)
+        unassigned = np.where(assigned < 0)[0]
+        others = unassigned[unassigned != sel]
+        if len(others):
+            o_avail = m.domain_mask[others] & free
+            bounds += float(np.where(o_avail, m.unary[others], _NEG_INF)
+                            .max(axis=1).sum())
+        if len(self._pair_i) == 0:
+            return bounds
+        PT, pi, pj = m.pair_tensor, self._pair_i, self._pair_j
+        ai, aj = assigned[pi], assigned[pj]
+        sel_i = pi == sel
+        sel_j = pj == sel
+        t = np.where(sel_i & (aj >= 0))[0]
+        if len(t):
+            bounds += PT[t, :, aj[t]].sum(axis=0)
+        t = np.where(sel_j & (ai >= 0))[0]
+        if len(t):
+            bounds += PT[t, ai[t], :].sum(axis=0)
+        t = np.where(sel_i & (aj < 0))[0]
+        if len(t):
+            bounds += RM[t].sum(axis=0)
+        t = np.where(sel_j & (ai < 0))[0]
+        if len(t):
+            bounds += CM[t].sum(axis=0)
+        rest_i = np.where(~sel_i & ~sel_j & (ai >= 0) & (aj < 0))[0]
+        if len(rest_i):
+            bounds += float(RM[rest_i, ai[rest_i]].sum())
+        rest_j = np.where(~sel_i & ~sel_j & (ai < 0) & (aj >= 0))[0]
+        if len(rest_j):
+            bounds += float(CM[rest_j, aj[rest_j]].sum())
+        rest_b = np.where(~sel_i & ~sel_j & (ai < 0) & (aj < 0))[0]
+        if len(rest_b):
+            bounds += float(np.where(free, RM[rest_b], _NEG_INF)
+                            .max(axis=1).sum())
+        return bounds
+
+    def _child_bounds_factored(self, sel: int, sel_pos: int,
+                               unassigned: np.ndarray, avail: np.ndarray,
+                               assigned: np.ndarray, free: np.ndarray,
+                               fixed: float) -> np.ndarray:
+        """Per-candidate bounds from the factored pair tensor.
+
+        Replaces the dense ``T x H`` edge-maxima materialization with
+        two ``H x H`` masked reductions of the base plus dot products
+        against the per-pair coefficients, grouped by the incremental
+        assignment-status array ``_st`` (see :meth:`_descend`):
+
+        * pairs touching ``sel`` with an assigned partner contribute
+          their exact tensor column/row;
+        * pairs touching ``sel`` with a free partner contribute
+          ``sum(x)*P + sum(y)*Q`` (per-candidate vectors);
+        * half-assigned pairs elsewhere contribute the scalar
+          ``x*P[a] + y*Q[a]`` at their fixed endpoint;
+        * fully-free pairs elsewhere contribute the decoupled scalar
+          ``x*max(P) + y*max(Q)`` over free columns — the one place
+          this path is (admissibly) looser than the dense maxima.
+        """
+        m = self.m
+        B = m.pair_base
+        P = np.where(free, B, _NEG_INF).max(axis=1)
+        Q = np.where(free[:, None], B, _NEG_INF).max(axis=0)
+        # Clamp impossible rows to a huge finite negative: 0 * -inf is
+        # NaN, while 0 * -1e300 is the correct zero contribution of a
+        # pair whose coefficient on that base component is zero.
+        np.maximum(P, _BIG_NEG, out=P)
+        np.maximum(Q, _BIG_NEG, out=Q)
+        # Unary part, reusing the node's avail rows (every row max is
+        # finite — the caller checked counts.min() > 0).
+        rowmax = np.where(avail, m.unary[unassigned], _NEG_INF).max(axis=1)
+        const = fixed + float(rowmax.sum()) - float(rowmax[sel_pos])
+        Pl, Ql = P.tolist(), Q.tolist()
+        stl, asg = self._stl, self._asg
+        xl, yl, sl = self._xl, self._yl, self._sl
+        pil, pjl = self._pil, self._pjl
+        # One scalar pass over sel's incident pairs: exact categories
+        # collect tensor rows, free-partner categories accumulate
+        # coefficient sums, and ``sub`` removes sel's own pairs from
+        # the node-level half-assigned aggregates below.
+        exact_i: List[int] = []
+        exact_i_at: List[int] = []
+        exact_j: List[int] = []
+        exact_j_at: List[int] = []
+        cxi = cyi = csi = cxj = cyj = csj = 0.0
+        sub = 0.0
+        for t in self._incl_i[sel]:
+            if stl[t] == 2:
+                b = asg[pjl[t]]
+                exact_i.append(t)
+                exact_i_at.append(b)
+                sub += yl[t] * Pl[b] + xl[t] * Ql[b] + sl[t]
+            else:
+                cxi += xl[t]
+                cyi += yl[t]
+                csi += sl[t]
+        for t in self._incl_j[sel]:
+            if stl[t] == 1:
+                a = asg[pil[t]]
+                exact_j.append(t)
+                exact_j_at.append(a)
+                sub += xl[t] * Pl[a] + yl[t] * Ql[a] + sl[t]
+            else:
+                cxj += xl[t]
+                cyj += yl[t]
+                csj += sl[t]
+        # Half-assigned pairs elsewhere: the maintained column weights
+        # against P/Q, minus sel's own contributions.
+        half = self._s_half - sub
+        for w, p in zip(self._wp, Pl):
+            if w:
+                half += w * p
+        for w, q in zip(self._wq, Ql):
+            if w:
+                half += w * q
+        # Fully-free pairs elsewhere: decoupled maxima over free
+        # columns — the one place this path is (admissibly) looser
+        # than the dense edge maxima.
+        rxf = self._xf - cxi - cxj
+        ryf = self._yf - cyi - cyj
+        rsf = self._sf - csi - csj
+        if rxf or ryf:
+            rest = (half + rxf * float(P[free].max())
+                    + ryf * float(Q[free].max()) + rsf)
+        else:
+            rest = half + rsf
+        base_c = const + rest + csi + csj
+        coef_p = cxi + cyj
+        coef_q = cyi + cxj
+        if coef_p or coef_q:
+            bounds = m.unary[sel] + (coef_p * P + coef_q * Q + base_c)
+        else:
+            bounds = m.unary[sel] + base_c
+        if exact_i:
+            bounds = bounds + m.pair_tensor[exact_i, :, exact_i_at] \
+                .sum(axis=0)
+        if exact_j:
+            bounds = bounds + m.pair_tensor[exact_j, exact_j_at, :] \
+                .sum(axis=0)
+        return bounds
+
+    def _tick(self) -> None:
+        self.nodes += 1
+        if self.node_limit is not None and self.nodes > self.node_limit:
+            self.truncated = True
+            raise _TimeUp
+        if self.time_limit is not None and self.nodes % 256 == 0:
+            if time.perf_counter() - self.start > self.time_limit:
+                raise _TimeUp
+        if self.floor_poll is not None and self.nodes % FLOOR_POLL_NODES == 0:
+            floor = self.floor_poll()
+            if floor is not None and floor > self.floor:
+                self.floor = floor

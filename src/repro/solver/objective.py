@@ -30,12 +30,27 @@ class Term:
 
 
 class UnaryTerm(Term):
-    """Score depending on one variable, e.g. a readout reliability term."""
+    """Score depending on one variable, e.g. a readout reliability term.
 
-    def __init__(self, name: str, score: Callable[[int], float]) -> None:
+    Args:
+        name: Variable name.
+        score: ``score(value) -> float``.
+        vector: Optional dense score table indexed by raw value (valid
+            when values are small non-negative ints, as hardware-qubit
+            ids are). The vectorized kernel slices it directly instead
+            of probing ``score`` once per value.
+    """
+
+    def __init__(self, name: str, score: Callable[[int], float],
+                 vector=None) -> None:
         self.scope = (name,)
         self.score = score
+        self.vector = vector
         self._cache: Dict[int, float] = {}
+
+    def dense_vector(self):
+        """Dense per-value score table, or ``None`` (probe fallback)."""
+        return self.vector
 
     def _score(self, value: int) -> float:
         if value not in self._cache:
@@ -55,13 +70,29 @@ class UnaryTerm(Term):
 
 
 class PairTerm(Term):
-    """Score depending on two variables, e.g. one CNOT's reliability."""
+    """Score depending on two variables, e.g. one CNOT's reliability.
+
+    Args:
+        a: First variable name.
+        b: Second variable name.
+        score: ``score(value_a, value_b) -> float``.
+        matrix: Optional dense score table with ``matrix[va, vb]``
+            indexed by raw values (valid when values are small
+            non-negative ints). The vectorized kernel slices it instead
+            of probing ``score`` per value pair.
+    """
 
     def __init__(self, a: str, b: str,
-                 score: Callable[[int, int], float]) -> None:
+                 score: Callable[[int, int], float],
+                 matrix=None) -> None:
         self.scope = (a, b)
         self.score = score
+        self.matrix = matrix
         self._cache: Dict[tuple, float] = {}
+
+    def dense_matrix(self):
+        """Dense score table, or ``None`` (probe fallback)."""
+        return self.matrix
 
     def _score(self, va: int, vb: int) -> float:
         key = (va, vb)
